@@ -1,0 +1,42 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// every table (1–3) and figure (1–5) plus the design-choice ablations,
+// printed as formatted tables.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table3|fig1..fig5|ablations]
+//	            [-scale small|medium|large] [-reps N] [-seed S]
+//
+// A full run at -scale medium is recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"julienne/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments.IDs(), "|"))
+	scaleFlag := flag.String("scale", "medium", "input scale: small|medium|large")
+	reps := flag.Int("reps", 3, "timing repetitions (median is reported)")
+	seed := flag.Uint64("seed", 2017, "workload seed")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("julienne experiments — scale=%s reps=%d seed=%d cpus=%d\n",
+		*scaleFlag, *reps, *seed, runtime.NumCPU())
+	s := &experiments.Suite{W: os.Stdout, Scale: scale, Reps: *reps, Seed: *seed}
+	if err := s.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,38 @@
+// Command gengraph generates a synthetic graph and writes it to a
+// file in Ligra text (.adj/.txt) or binary format.
+//
+// Usage:
+//
+//	gengraph -out graph.bin [graph flags]
+//	gengraph -out web.adj -gen chunglu -n 100000 -m 2000000 -weights log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"julienne/internal/cli"
+	"julienne/internal/graphio"
+)
+
+func main() {
+	out := flag.String("out", "", "output path (.adj/.txt = Ligra text, else binary)")
+	gf := cli.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gengraph: -out is required")
+		os.Exit(2)
+	}
+	g, err := gf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := graphio.SaveFile(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, cli.Describe(g))
+}

@@ -1,0 +1,81 @@
+// Command sssp solves single-source shortest paths with any of the
+// implementations in this repository.
+//
+// Usage:
+//
+//	sssp [-algo wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial]
+//	     [-src V] [-delta D] [graph flags]
+//
+// Unweighted inputs get the paper's wBFS weighting ([1, log n)) unless
+// -weights overrides it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"julienne/internal/algo/sssp"
+	"julienne/internal/cli"
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+)
+
+func main() {
+	algo := flag.String("algo", "delta", "algorithm: wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial")
+	src := flag.Uint("src", 0, "source vertex")
+	delta := flag.Int64("delta", 32768, "delta parameter (delta-stepping variants)")
+	gf := cli.Register(flag.CommandLine)
+	flag.Parse()
+
+	g, err := gf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !g.Weighted() {
+		g = gen.LogWeights(g, *gf.Seed+1)
+	}
+	fmt.Println(cli.Describe(g))
+
+	start := time.Now()
+	var res sssp.Result
+	s := graph.Vertex(*src)
+	switch *algo {
+	case "wbfs":
+		res = sssp.WBFS(g, s, sssp.Options{})
+	case "delta":
+		res = sssp.DeltaStepping(g, s, *delta, sssp.Options{})
+	case "delta-lh":
+		res = sssp.DeltaSteppingLH(g, s, *delta, sssp.Options{})
+	case "gap-bins":
+		res = sssp.DeltaSteppingBins(g, s, *delta)
+	case "bellman-ford":
+		res = sssp.BellmanFord(g, s)
+	case "dijkstra":
+		res = sssp.DijkstraHeap(g, s)
+	case "dial":
+		res = sssp.Dial(g, s)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	reached, maxDist, sum := 0, int64(0), int64(0)
+	for _, d := range res.Dist {
+		if d == sssp.Unreachable {
+			continue
+		}
+		reached++
+		sum += d
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	fmt.Printf("algo=%s src=%d time=%v rounds=%d relaxations=%d\n",
+		*algo, s, elapsed, res.Rounds, res.Relaxations)
+	fmt.Printf("reached=%d/%d max_dist=%d avg_dist=%.1f\n",
+		reached, len(res.Dist), maxDist, float64(sum)/float64(max(reached, 1)))
+}

@@ -1,0 +1,82 @@
+package julienne_test
+
+import (
+	"fmt"
+
+	"julienne"
+)
+
+// ExampleKCore computes the coreness decomposition of a small graph:
+// a triangle with a pendant vertex.
+func ExampleKCore() {
+	g := julienne.FromEdges(4, []julienne.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3},
+	}, julienne.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	fmt.Println(julienne.KCore(g))
+	// Output: [2 2 2 1]
+}
+
+// ExampleWBFS runs weighted BFS on a weighted path 0 -5- 1 -3- 2.
+func ExampleWBFS() {
+	g := julienne.FromEdges(3, []julienne.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3},
+	}, julienne.BuildOptions{Weighted: true, Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	fmt.Println(julienne.WBFS(g, 0))
+	// Output: [0 5 8]
+}
+
+// ExampleNewBuckets drives the bucket structure directly: three
+// identifiers in buckets 2, 0 and 5 come out in increasing order.
+func ExampleNewBuckets() {
+	d := []julienne.BucketID{2, 0, 5}
+	b := julienne.NewBuckets(3, func(i uint32) julienne.BucketID { return d[i] },
+		julienne.IncreasingBuckets, julienne.BucketOptions{})
+	for {
+		id, ids := b.NextBucket()
+		if id == julienne.NilBucket {
+			break
+		}
+		fmt.Println(id, ids)
+	}
+	// Output:
+	// 0 [1]
+	// 2 [0]
+	// 5 [2]
+}
+
+// ExampleApproxSetCover solves a tiny instance: set 0 covers elements
+// {3,4,5}, set 1 covers {4,5}, set 2 covers {6}.
+func ExampleApproxSetCover() {
+	g := julienne.FromEdges(7, []julienne.Edge{
+		{U: 0, V: 3}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 4}, {U: 1, V: 5},
+		{U: 2, V: 6},
+	}, julienne.DefaultBuild)
+	res := julienne.ApproxSetCover(g, 3, julienne.SetCoverOptions{})
+	fmt.Println(res.InCover, res.CoverSize)
+	// Output: [true false true] 2
+}
+
+// ExampleDeltaStepping shows the ∆ parameter trading rounds for work.
+func ExampleDeltaStepping() {
+	g := julienne.FromEdges(3, []julienne.Edge{
+		{U: 0, V: 1, W: 10}, {U: 1, V: 2, W: 10}, {U: 0, V: 2, W: 25},
+	}, julienne.BuildOptions{Weighted: true, Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	fmt.Println(julienne.DeltaStepping(g, 0, 8))
+	// Output: [0 10 20]
+}
+
+// ExampleDensestSubgraph finds the densest part of a clique with a
+// pendant path attached.
+func ExampleDensestSubgraph() {
+	edges := []julienne.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}, // K4
+		{U: 3, V: 4}, {U: 4, V: 5}, // pendant path
+	}
+	g := julienne.FromEdges(6, edges,
+		julienne.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	res := julienne.DensestSubgraph(g)
+	fmt.Println(len(res.Vertices), res.Density)
+	// Output: 4 1.5
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a social-style graph and run all four
+// bucketing-based applications of the Julienne framework through the
+// public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"julienne"
+)
+
+func main() {
+	// An undirected RMAT graph: skewed degrees, small diameter — the
+	// shape of the paper's social-network inputs.
+	g := julienne.RMAT(1<<14, 1<<17, true, 42)
+	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	// k-core decomposition (work-efficient bucketed peeling).
+	cores := julienne.KCore(g)
+	kmax := uint32(0)
+	for _, c := range cores {
+		if c > kmax {
+			kmax = c
+		}
+	}
+	fmt.Printf("k-core: kmax=%d rho=%d\n", kmax, julienne.Rho(g))
+
+	// Weighted BFS with the paper's [1, log n) weighting.
+	wg := julienne.LogWeights(g, 1)
+	dist := julienne.WBFS(wg, 0)
+	reached := 0
+	for _, d := range dist {
+		if d != julienne.UnreachableDist {
+			reached++
+		}
+	}
+	fmt.Printf("wBFS: reached %d/%d vertices from vertex 0\n", reached, len(dist))
+
+	// ∆-stepping with heavy weights and the paper's tuned ∆.
+	hg := julienne.HeavyWeights(g, 2)
+	res := julienne.DeltaSteppingFull(hg, 0, 32768, julienne.BucketOptions{})
+	fmt.Printf("delta-stepping: %d rounds, %d relaxations\n", res.Rounds, res.Relaxations)
+
+	// Approximate set cover on a random bipartite instance.
+	inst := julienne.NewSetCoverInstance(1<<11, 1<<14, 4, 3)
+	cover := julienne.ApproxSetCover(inst.Graph, inst.Sets, julienne.SetCoverOptions{})
+	if err := julienne.ValidateCover(inst.Graph, inst.Sets, cover.InCover); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("set cover: chose %d of %d sets (valid)\n", cover.CoverSize, inst.Sets)
+}

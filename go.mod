@@ -1,0 +1,3 @@
+module julienne
+
+go 1.22

@@ -1,0 +1,117 @@
+package kcore
+
+import (
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+)
+
+func TestExtractCoreTriangle(t *testing.T) {
+	// Triangle (coreness 2) + pendant (coreness 1).
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}},
+		graph.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	cores := Coreness(g, Options{}).Coreness
+	sub := ExtractCore(g, cores, 2)
+	if len(sub.Vertices) != 3 {
+		t.Fatalf("2-core has %d vertices, want 3", len(sub.Vertices))
+	}
+	if sub.NumCores != 1 {
+		t.Fatalf("NumCores=%d want 1", sub.NumCores)
+	}
+	// Every vertex of the 2-core has induced degree >= 2.
+	for v := 0; v < sub.Graph.NumVertices(); v++ {
+		if sub.Graph.OutDegree(graph.Vertex(v)) < 2 {
+			t.Fatalf("induced degree %d < 2", sub.Graph.OutDegree(graph.Vertex(v)))
+		}
+	}
+	// k=1 keeps everything; k=3 keeps nothing.
+	if all := ExtractCore(g, cores, 1); len(all.Vertices) != 4 {
+		t.Fatalf("1-core size %d", len(all.Vertices))
+	}
+	if none := ExtractCore(g, cores, 3); len(none.Vertices) != 0 || none.NumCores != 0 {
+		t.Fatalf("3-core should be empty")
+	}
+}
+
+func TestExtractCoreTwoSeparateCores(t *testing.T) {
+	// Two disjoint triangles plus a pendant vertex: the 2-core has two
+	// components (two distinct 2-cores); the pendant (coreness 1) is
+	// excluded. (Note a path *bridging* the triangles would not
+	// separate them: every bridge vertex would keep degree 2 and the
+	// whole graph would be one 2-core.)
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle A
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}, // triangle B
+		{U: 2, V: 6}, // pendant
+	}
+	g := graph.FromEdges(7, edges,
+		graph.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	cores := Coreness(g, Options{}).Coreness
+	sub := ExtractCore(g, cores, 2)
+	if len(sub.Vertices) != 6 {
+		t.Fatalf("2-core size %d want 6 (bridge vertex excluded)", len(sub.Vertices))
+	}
+	if sub.NumCores != 2 {
+		t.Fatalf("NumCores=%d want 2", sub.NumCores)
+	}
+}
+
+// TestExtractCoreInvariants is the property check on random graphs:
+// the k-core subgraph has min induced degree >= k and contains exactly
+// the vertices with coreness >= k.
+func TestExtractCoreInvariants(t *testing.T) {
+	g := gen.RMAT(1<<10, 10000, true, 3)
+	cores := Coreness(g, Options{}).Coreness
+	kmax := MaxCoreness(cores)
+	for _, k := range []uint32{1, 2, kmax / 2, kmax} {
+		sub := ExtractCore(g, cores, k)
+		wantSize := 0
+		for _, c := range cores {
+			if c >= k {
+				wantSize++
+			}
+		}
+		if len(sub.Vertices) != wantSize {
+			t.Fatalf("k=%d: size %d want %d", k, len(sub.Vertices), wantSize)
+		}
+		if err := graph.Validate(sub.Graph); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for v := 0; v < sub.Graph.NumVertices(); v++ {
+			if sub.Graph.OutDegree(graph.Vertex(v)) < int(k) {
+				t.Fatalf("k=%d: vertex %d has induced degree %d",
+					k, v, sub.Graph.OutDegree(graph.Vertex(v)))
+			}
+		}
+		// Coreness of the subgraph's vertices is >= k when recomputed.
+		subCores := Coreness(sub.Graph, Options{}).Coreness
+		for v, c := range subCores {
+			if c < k {
+				t.Fatalf("k=%d: recomputed coreness %d < k at %d", k, c, v)
+			}
+		}
+	}
+}
+
+func TestExtractCoreWeighted(t *testing.T) {
+	g := gen.UniformWeights(gen.Complete(5), 1, 10, 1)
+	cores := Coreness(g, Options{}).Coreness
+	sub := ExtractCore(g, cores, 4)
+	if !sub.Graph.Weighted() {
+		t.Fatal("weights lost")
+	}
+	if sub.Graph.NumVertices() != 5 {
+		t.Fatal("K5 4-core should be whole graph")
+	}
+}
+
+func TestExtractCorePanics(t *testing.T) {
+	g := gen.Complete(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad coreness slice")
+		}
+	}()
+	ExtractCore(g, []uint32{1}, 1)
+}

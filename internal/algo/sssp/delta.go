@@ -1,0 +1,98 @@
+package sssp
+
+import (
+	"julienne/internal/bucket"
+	"julienne/internal/graph"
+	"julienne/internal/ligra"
+	"julienne/internal/parallel"
+)
+
+// Options configures the bucketed SSSP algorithms.
+type Options struct {
+	// Buckets is passed through to the bucket structure.
+	Buckets bucket.Options
+}
+
+// DeltaStepping implements Algorithm 2 of the paper: bucketed
+// ∆-stepping where bucket i is the annulus of tentative distances
+// [i∆, (i+1)∆). Unreached vertices are outside the structure (their D
+// is Nil) and enter it on first relaxation, so the work is proportional
+// to edges relaxed, not to n per round.
+func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Result {
+	checkInput(g, src)
+	if delta <= 0 {
+		panic("sssp: delta must be positive")
+	}
+	n := g.NumVertices()
+	sp := make([]uint64, n)
+	parallel.For(n, parallel.DefaultGrain, func(i int) { sp[i] = inf })
+	sp[src] = 0
+
+	udelta := uint64(delta)
+	bktOf := func(dist uint64) bucket.ID {
+		if dist >= inf {
+			return bucket.Nil
+		}
+		b := dist / udelta
+		if b >= uint64(bucket.Nil) {
+			panic("sssp: distance/delta exceeds the bucket id space; increase delta")
+		}
+		return bucket.ID(b)
+	}
+	// GetBucketNum of Algorithm 2 (line 3).
+	d := func(i uint32) bucket.ID { return bktOf(sp[i] &^ flag) }
+	b := bucket.New(n, d, bucket.Increasing, opt.Buckets)
+
+	res := Result{}
+	always := func(graph.Vertex) bool { return true }
+	for {
+		id, ids := b.NextBucket()
+		if id == bucket.Nil {
+			break
+		}
+		res.Rounds++
+		frontier := ligra.FromSparse(n, ids)
+		res.EdgesTraversed += parallel.Sum(len(ids), 0, func(i int) int64 {
+			return int64(g.OutDegree(ids[i]))
+		})
+		// Relax the out-edges of the bucket (Algorithm 2, line 18). The
+		// tagged output carries each improved vertex's distance at the
+		// start of the round, captured by the winning relaxer.
+		moved := ligra.EdgeMapTagged(g, frontier, always,
+			func(s, dst graph.Vertex, w graph.Weight) (uint64, bool) {
+				return relaxCapture(sp, &res.Relaxations, s, dst, w)
+			})
+		// Reset (lines 11–13): clear the round flag and compute each
+		// vertex's bucket move from its start-of-round bucket to its
+		// new bucket.
+		rebucket := ligra.TagMapTagged(moved, func(v graph.Vertex, oldDist uint64) (bucket.Dest, bool) {
+			newDist := sp[v] &^ flag
+			sp[v] = newDist
+			prevB, newB := bktOf(oldDist), bktOf(newDist)
+			var dest bucket.Dest
+			if newB == prevB && newB == id {
+				// v sat in the current bucket and was improved to a
+				// distance still inside it. The extraction consumed
+				// its physical copy, so "no logical move" must still
+				// reinsert it (the light-edge iteration of
+				// ∆-stepping); prev = Nil states the physical truth.
+				dest = b.GetBucket(bucket.Nil, newB)
+			} else {
+				dest = b.GetBucket(prevB, newB)
+			}
+			return dest, dest != bucket.None
+		})
+		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
+			return rebucket.IDs[j], rebucket.Vals[j]
+		})
+	}
+	res.BucketStats = b.Stats()
+	res.Dist = finalize(sp)
+	return res
+}
+
+// WBFS is weighted breadth-first search: ∆-stepping with ∆ = 1
+// (Theorem 4.2: O(r_src + m) expected work, O(r_src log n) depth).
+func WBFS(g graph.Graph, src graph.Vertex, opt Options) Result {
+	return DeltaStepping(g, src, 1, opt)
+}

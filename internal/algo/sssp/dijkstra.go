@@ -1,0 +1,103 @@
+package sssp
+
+import (
+	"container/heap"
+
+	"julienne/internal/graph"
+)
+
+// DijkstraHeap is the classic sequential Dijkstra algorithm with a
+// binary heap, playing the role of the DIMACS challenge sequential
+// solver in Table 3: the "well-tuned sequential baseline" parallel
+// speedups are measured against.
+func DijkstraHeap(g graph.Graph, src graph.Vertex) Result {
+	checkInput(g, src)
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	res := Result{}
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		g.OutNeighbors(item.v, func(u graph.Vertex, w graph.Weight) bool {
+			res.EdgesTraversed++
+			nd := item.d + uint64(w)
+			if nd < dist[u] {
+				dist[u] = nd
+				res.Relaxations++
+				heap.Push(pq, distItem{v: u, d: nd})
+			}
+			return true
+		})
+	}
+	res.Dist = finalize(dist)
+	return res
+}
+
+type distItem struct {
+	v graph.Vertex
+	d uint64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Dial is sequential Dial's algorithm [18]: a bucket queue indexed by
+// tentative distance, the algorithm wBFS parallelizes. It is efficient
+// when the maximum edge weight (hence the bucket span) is small.
+func Dial(g graph.Graph, src graph.Vertex) Result {
+	checkInput(g, src)
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	res := Result{}
+	// Buckets grow on demand; bucket d holds vertices with tentative
+	// distance exactly d (lazy deletion via the dist check at pop).
+	bkts := [][]graph.Vertex{{src}}
+	for cur := 0; cur < len(bkts); cur++ {
+		for len(bkts[cur]) > 0 {
+			// Re-check liveness: stale copies are skipped.
+			v := bkts[cur][len(bkts[cur])-1]
+			bkts[cur] = bkts[cur][:len(bkts[cur])-1]
+			if dist[v] != uint64(cur) {
+				continue
+			}
+			g.OutNeighbors(v, func(u graph.Vertex, w graph.Weight) bool {
+				res.EdgesTraversed++
+				nd := uint64(cur) + uint64(w)
+				if nd < dist[u] {
+					dist[u] = nd
+					res.Relaxations++
+					for uint64(len(bkts)) <= nd {
+						bkts = append(bkts, nil)
+					}
+					bkts[nd] = append(bkts[nd], u)
+				}
+				return true
+			})
+		}
+		res.Rounds++
+	}
+	res.Dist = finalize(dist)
+	return res
+}

@@ -1,0 +1,73 @@
+package sssp
+
+import (
+	"julienne/internal/graph"
+	"julienne/internal/parallel"
+)
+
+// ParentsFromDistances derives a shortest-path tree from a distance
+// vector (as returned by any solver in this package): parent[v] is an
+// in-neighbor u with Dist[u] + w(u, v) == Dist[v], NilVertex for the
+// source and unreachable vertices. One O(m) parallel pass; among valid
+// parents the smallest vertex id is chosen, so the tree is
+// deterministic regardless of which solver produced the distances.
+//
+// Deriving parents after the fact keeps the relaxation inner loops
+// free of a second word of atomic state; it also means one distance
+// vector can serve multiple tree extractions.
+func ParentsFromDistances(g graph.Graph, dist []int64) []graph.Vertex {
+	n := g.NumVertices()
+	if len(dist) != n {
+		panic("sssp: distance vector does not match the graph")
+	}
+	parent := make([]graph.Vertex, n)
+	parallel.For(n, parallel.DefaultGrain, func(i int) { parent[i] = graph.NilVertex })
+	// Scan out-edges: u settles parent[v] when the edge is tight.
+	// WriteMin keeps the smallest valid parent id.
+	parentWord := make([]uint32, n)
+	parallel.For(n, parallel.DefaultGrain, func(i int) { parentWord[i] = ^uint32(0) })
+	parallel.For(n, 64, func(ui int) {
+		u := graph.Vertex(ui)
+		du := dist[u]
+		if du == Unreachable {
+			return
+		}
+		g.OutNeighbors(u, func(v graph.Vertex, w graph.Weight) bool {
+			if dv := dist[v]; dv != Unreachable && dv == du+int64(w) && dv != 0 {
+				parallel.WriteMinUint32(&parentWord[v], uint32(u))
+			}
+			return true
+		})
+	})
+	parallel.For(n, parallel.DefaultGrain, func(i int) {
+		if parentWord[i] != ^uint32(0) {
+			parent[i] = graph.Vertex(parentWord[i])
+		}
+	})
+	return parent
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v as
+// a vertex sequence (inclusive), or nil if v is unreachable. O(path
+// length).
+func PathTo(parent []graph.Vertex, dist []int64, v graph.Vertex) []graph.Vertex {
+	if dist[v] == Unreachable {
+		return nil
+	}
+	var rev []graph.Vertex
+	for {
+		rev = append(rev, v)
+		if dist[v] == 0 {
+			break
+		}
+		p := parent[v]
+		if p == graph.NilVertex || len(rev) > len(parent) {
+			return nil // corrupt tree; fail closed
+		}
+		v = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,117 @@
+package sssp
+
+import (
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+)
+
+func validateTree(t *testing.T, g graph.Graph, src graph.Vertex, dist []int64, parent []graph.Vertex) {
+	t.Helper()
+	if parent[src] != graph.NilVertex {
+		t.Fatalf("source has parent %d", parent[src])
+	}
+	for v := range parent {
+		vv := graph.Vertex(v)
+		switch {
+		case dist[v] == Unreachable:
+			if parent[v] != graph.NilVertex {
+				t.Fatalf("unreachable %d has parent", v)
+			}
+		case dist[v] == 0:
+			// the source (positive weights)
+		default:
+			p := parent[v]
+			if p == graph.NilVertex {
+				t.Fatalf("reachable %d has no parent", v)
+			}
+			// The tree edge must exist and be tight.
+			found := false
+			g.OutNeighbors(p, func(u graph.Vertex, w graph.Weight) bool {
+				if u == vv && dist[p]+int64(w) == dist[v] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("tree edge (%d,%d) not tight or missing", p, v)
+			}
+		}
+	}
+}
+
+func TestParentsFromDistances(t *testing.T) {
+	graphs := map[string]graph.Graph{
+		"grid": gen.LogWeights(gen.Grid2D(20, 20), 1),
+		"rmat": gen.HeavyWeights(gen.RMAT(1<<10, 10000, true, 2), 2),
+		"disc": gen.UniformWeights(gen.ErdosRenyi(300, 200, true, 3), 1, 9, 3),
+	}
+	for name, g := range graphs {
+		for _, solver := range []func() Result{
+			func() Result { return WBFS(g, 0, Options{}) },
+			func() Result { return DijkstraHeap(g, 0) },
+		} {
+			res := solver()
+			parent := ParentsFromDistances(g, res.Dist)
+			validateTree(t, g, 0, res.Dist, parent)
+			_ = name
+		}
+	}
+}
+
+func TestParentsDeterministic(t *testing.T) {
+	g := gen.HeavyWeights(gen.RMAT(1<<9, 5000, true, 7), 7)
+	d1 := DeltaStepping(g, 0, 32768, Options{}).Dist
+	d2 := DijkstraHeap(g, 0).Dist
+	p1 := ParentsFromDistances(g, d1)
+	p2 := ParentsFromDistances(g, d2)
+	for v := range p1 {
+		if p1[v] != p2[v] {
+			t.Fatalf("parents differ at %d despite identical distances", v)
+		}
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	// Path graph with known weights: 0 -2- 1 -3- 2 -1- 3.
+	g := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 1},
+	}, graph.BuildOptions{Weighted: true, Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	res := DijkstraHeap(g, 0)
+	parent := ParentsFromDistances(g, res.Dist)
+	path := PathTo(parent, res.Dist, 3)
+	want := []graph.Vertex{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v want %v", path, want)
+		}
+	}
+	if PathTo(parent, res.Dist, 0)[0] != 0 {
+		t.Fatal("source path")
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	g := gen.UniformWeights(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}},
+		graph.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true}), 1, 5, 1)
+	res := WBFS(g, 0, Options{})
+	parent := ParentsFromDistances(g, res.Dist)
+	if PathTo(parent, res.Dist, 2) != nil {
+		t.Fatal("unreachable vertex produced a path")
+	}
+}
+
+func TestParentsPanicsOnMismatch(t *testing.T) {
+	g := gen.LogWeights(gen.Grid2D(3, 3), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ParentsFromDistances(g, []int64{0})
+}

@@ -1,0 +1,192 @@
+package truss
+
+import (
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+)
+
+// seqTrussness is the oracle: repeatedly remove a minimum-support edge
+// (recomputing supports from scratch), recording support+2 at removal
+// clamped to be non-decreasing — the textbook sequential peel.
+func seqTrussness(g *graph.CSR) map[[2]graph.Vertex]uint32 {
+	type edge = [2]graph.Vertex
+	adj := map[graph.Vertex]map[graph.Vertex]bool{}
+	var edges []edge
+	for v := 0; v < g.NumVertices(); v++ {
+		vv := graph.Vertex(v)
+		adj[vv] = map[graph.Vertex]bool{}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vv := graph.Vertex(v)
+		g.OutNeighbors(vv, func(u graph.Vertex, w graph.Weight) bool {
+			adj[vv][u] = true
+			if vv < u {
+				edges = append(edges, edge{vv, u})
+			}
+			return true
+		})
+	}
+	support := func(e edge) uint32 {
+		c := uint32(0)
+		for w := range adj[e[0]] {
+			if adj[e[1]][w] {
+				c++
+			}
+		}
+		return c
+	}
+	out := map[edge]uint32{}
+	level := uint32(0)
+	for len(edges) > 0 {
+		// Find the minimum-support edge.
+		minI, minS := 0, support(edges[0])
+		for i := 1; i < len(edges); i++ {
+			if s := support(edges[i]); s < minS {
+				minI, minS = i, s
+			}
+		}
+		if minS > level {
+			level = minS
+		}
+		e := edges[minI]
+		out[e] = level + 2
+		delete(adj[e[0]], e[1])
+		delete(adj[e[1]], e[0])
+		edges = append(edges[:minI], edges[minI+1:]...)
+	}
+	return out
+}
+
+func resultMap(r Result) map[[2]graph.Vertex]uint32 {
+	out := map[[2]graph.Vertex]uint32{}
+	for i := range r.Trussness {
+		out[[2]graph.Vertex{r.EdgeU[i], r.EdgeV[i]}] = r.Trussness[i]
+	}
+	return out
+}
+
+func TestKnownFixtures(t *testing.T) {
+	// Every edge of K_n has trussness n; a triangle's edges have 3; a
+	// path's edges have 2.
+	for n := 3; n <= 6; n++ {
+		r := Trussness(gen.Complete(n))
+		for i, tr := range r.Trussness {
+			if tr != uint32(n) {
+				t.Fatalf("K%d edge %d trussness %d", n, i, tr)
+			}
+		}
+		if r.MaxTrussness() != uint32(n) {
+			t.Fatalf("K%d max trussness %d", n, r.MaxTrussness())
+		}
+	}
+	for _, tr := range Trussness(gen.Path(10)).Trussness {
+		if tr != 2 {
+			t.Fatalf("path trussness %d want 2", tr)
+		}
+	}
+	for _, tr := range Trussness(gen.Cycle(8)).Trussness {
+		if tr != 2 {
+			t.Fatalf("cycle trussness %d want 2", tr)
+		}
+	}
+}
+
+func TestTrianglePlusPendant(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}},
+		graph.BuildOptions{Symmetrize: true, DropSelfLoops: true, Dedup: true})
+	got := resultMap(Trussness(g))
+	want := map[[2]graph.Vertex]uint32{
+		{0, 1}: 3, {0, 2}: 3, {1, 2}: 3, {2, 3}: 2,
+	}
+	for e, w := range want {
+		if got[e] != w {
+			t.Fatalf("edge %v trussness %d want %d (all: %v)", e, got[e], w, got)
+		}
+	}
+}
+
+func TestMatchesSequentialOracle(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"er":    gen.ErdosRenyi(60, 300, true, 1),
+		"rmat":  gen.RMAT(1<<6, 500, true, 2),
+		"dense": gen.ErdosRenyi(25, 200, true, 3),
+		"grid":  gen.Grid2D(6, 6),
+	}
+	for name, g := range graphs {
+		want := seqTrussness(g)
+		got := resultMap(Trussness(g))
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d edges vs %d", name, len(got), len(want))
+		}
+		for e, w := range want {
+			if got[e] != w {
+				t.Fatalf("%s: edge %v trussness %d want %d", name, e, got[e], w)
+			}
+		}
+	}
+}
+
+// TestTrussInvariant checks the defining property directly: within the
+// subgraph of edges with trussness >= k, every edge must close at
+// least k-2 triangles.
+func TestTrussInvariant(t *testing.T) {
+	g := gen.RMAT(1<<8, 4000, true, 7)
+	r := Trussness(g)
+	kmax := r.MaxTrussness()
+	for _, k := range []uint32{3, kmax} {
+		if k < 3 {
+			continue
+		}
+		// Adjacency restricted to edges with trussness >= k.
+		adj := map[graph.Vertex]map[graph.Vertex]bool{}
+		add := func(a, b graph.Vertex) {
+			if adj[a] == nil {
+				adj[a] = map[graph.Vertex]bool{}
+			}
+			adj[a][b] = true
+		}
+		for i, tr := range r.Trussness {
+			if tr >= k {
+				add(r.EdgeU[i], r.EdgeV[i])
+				add(r.EdgeV[i], r.EdgeU[i])
+			}
+		}
+		for i, tr := range r.Trussness {
+			if tr < k {
+				continue
+			}
+			a, b := r.EdgeU[i], r.EdgeV[i]
+			c := uint32(0)
+			for w := range adj[a] {
+				if adj[b][w] {
+					c++
+				}
+			}
+			if c < k-2 {
+				t.Fatalf("k=%d: edge (%d,%d) has %d triangles in the %d-truss", k, a, b, c, k)
+			}
+		}
+	}
+}
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	r := Trussness(graph.FromEdges(0, nil, graph.BuildOptions{Symmetrize: true}))
+	if len(r.Trussness) != 0 || r.MaxTrussness() != 0 {
+		t.Fatal("empty graph")
+	}
+	r2 := Trussness(graph.FromEdges(5, nil, graph.BuildOptions{Symmetrize: true}))
+	if len(r2.Trussness) != 0 {
+		t.Fatal("edgeless graph")
+	}
+}
+
+func TestPanicsOnDirected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Trussness(graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}, graph.DefaultBuild))
+}

@@ -1,0 +1,113 @@
+// Package bucket implements Julienne's core contribution: a
+// work-efficient structure maintaining a dynamic mapping from integer
+// identifiers to ordered buckets, with fast access to the inverse map
+// (§3 of the paper). Bucketing-based algorithms (k-core, ∆-stepping,
+// wBFS, approximate set cover) repeatedly extract the lowest (or
+// highest) non-empty bucket and move identifiers between buckets.
+//
+// Two implementations are provided:
+//
+//   - Parallel (the default, §3.2–3.3): represents an open range of nB
+//     buckets plus one overflow bucket, updates buckets with the
+//     block-histogram strategy (blocks of M = 2048, per-block counts,
+//     one scan, then direct scatter), and compacts lazily. A
+//     semisort-based update path (the theoretically-clean §3.2
+//     algorithm) is kept behind an option for the ablation benchmarks.
+//
+//   - Sequential (§3.2): exact dynamic arrays with lazy deletion, used
+//     as the differential-testing oracle and the single-thread
+//     baseline.
+//
+// Identifier liveness is defined by the user-supplied D function: a
+// copy of identifier i stored in bucket b is live iff D(i) == b at
+// extraction time. This is the paper's lazy-deletion contract — moving
+// an identifier just inserts a new copy; stale copies are dropped when
+// their bucket is compacted.
+package bucket
+
+import "math"
+
+// ID identifies a logical bucket. Buckets are traversed monotonically
+// in the structure's Order.
+type ID = uint32
+
+// Nil is the nullbkt sentinel: "not in any bucket". A D function
+// returns Nil for identifiers that should not be (re)inserted.
+const Nil ID = math.MaxUint32
+
+// Order is the traversal order over buckets.
+type Order int
+
+const (
+	// Increasing processes buckets from lowest id upward (k-core,
+	// ∆-stepping, wBFS).
+	Increasing Order = iota
+	// Decreasing processes buckets from highest id downward
+	// (approximate set cover).
+	Decreasing
+)
+
+// Dest is the opaque destination produced by GetBucket and consumed by
+// UpdateBuckets (§3.1: "bucket_dest is an opaque type representing
+// where an identifier is moving inside of the structure"). Its
+// representation differs between implementations; user code must treat
+// it as a black box apart from the None sentinel.
+type Dest uint32
+
+// None is the Dest meaning "no update required". UpdateBuckets skips
+// identifiers whose destination is None, which is how requests that
+// move an identifier to Nil (or perform no logical move) stay free
+// (§3.4: such requests "are ignored by updateBuckets and do not incur
+// any random reads or writes").
+const None Dest = Dest(math.MaxUint32)
+
+// Structure is the bucketing interface of §3.1. Both the parallel and
+// the sequential implementations satisfy it, which lets every
+// application and test run against either.
+type Structure interface {
+	// NextBucket returns the id of the next non-empty bucket in the
+	// traversal order together with the identifiers it contains. The
+	// returned slice is owned by the caller. When the structure is
+	// exhausted it returns (Nil, nil). The same bucket id may be
+	// returned more than once if identifiers are inserted back into
+	// the current bucket between calls.
+	NextBucket() (ID, []uint32)
+	// GetBucket computes the destination for an identifier moving
+	// from bucket prev to bucket next, or None if no physical update
+	// is needed (next == Nil, next == prev, or next strictly behind
+	// the traversal, which lazy deletion handles for free).
+	GetBucket(prev, next ID) Dest
+	// UpdateBuckets applies k updates; the j'th update is given by
+	// f(j). Updates whose Dest is None are skipped. f must be pure:
+	// the parallel implementation evaluates it in parallel and more
+	// than once per index (histogram pass and scatter pass). In
+	// practice callers index into materialized (identifier, dest)
+	// arrays, e.g. the output of a tagged edge map.
+	UpdateBuckets(k int, f func(j int) (uint32, Dest))
+	// Stats returns cumulative operation counts, used by the
+	// microbenchmark (§3.4) and the work-efficiency experiments.
+	Stats() Stats
+}
+
+// Stats counts the structure's work, matching the §3.4 throughput
+// definition: throughput counts identifiers extracted by NextBucket
+// plus identifiers physically moved by UpdateBuckets (moves to Nil are
+// excluded — they are the skipped None destinations).
+type Stats struct {
+	// Extracted is the total number of identifiers returned by
+	// NextBucket.
+	Extracted int64
+	// Moved is the total number of identifiers physically inserted by
+	// UpdateBuckets.
+	Moved int64
+	// Skipped is the number of None-destination updates (free).
+	Skipped int64
+	// BucketsReturned is the number of successful NextBucket calls.
+	BucketsReturned int64
+	// RangeAdvances counts overflow unpacks (parallel implementation
+	// only).
+	RangeAdvances int64
+}
+
+// Throughput returns Extracted + Moved, the §3.4 numerator.
+func (s Stats) Throughput() int64 { return s.Extracted + s.Moved }

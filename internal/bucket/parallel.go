@@ -1,0 +1,452 @@
+package bucket
+
+import (
+	"julienne/internal/parallel"
+	"julienne/internal/semisort"
+)
+
+// DefaultOpenBuckets is the default size of the open bucket range
+// (§3.3: "our default value is 128").
+const DefaultOpenBuckets = 128
+
+// updateBlock is the block length M of the block-histogram update
+// (§3.3: "we set M to 2048 in our implementation").
+const updateBlock = 2048
+
+// Options configures the parallel bucket structure.
+type Options struct {
+	// OpenBuckets is nB, the number of logical buckets represented
+	// exactly; identifiers logically beyond the open range live in a
+	// single overflow bucket until the range advances (§3.3). Zero
+	// means DefaultOpenBuckets.
+	OpenBuckets int
+	// Semisort switches UpdateBuckets to the theoretically-clean
+	// semisort-based algorithm of §3.2 instead of the block-histogram
+	// strategy of §3.3. Kept for the ablation benchmarks.
+	Semisort bool
+}
+
+// Par is the parallel bucketing implementation (§3.2 with the §3.3
+// optimizations). It maintains nB open buckets covering the logical id
+// range [rangeLo, rangeLo+nB) (Increasing) or (rangeHi-nB, rangeHi]
+// (Decreasing), plus one overflow bucket for identifiers logically
+// beyond the open range. Dest values encode a physical slot: open slot
+// index in [0, nB), the overflow slot nB, or None.
+type Par struct {
+	n       int
+	d       func(uint32) ID
+	order   Order
+	nB      int
+	useSemi bool
+
+	bkts    [][]uint32 // nB open slots + 1 overflow slot
+	cur     int        // current open slot being processed
+	rangeLo ID         // lowest logical id in the open range
+	rangeHi ID         // highest logical id in the open range
+	done    bool
+	stats   Stats
+
+	// scratch reused across UpdateBuckets calls.
+	counts []uint32
+}
+
+var _ Structure = (*Par)(nil)
+
+// New creates the parallel structure over identifiers [0, n) with
+// initial buckets given by d (Nil means "not bucketed"), traversed in
+// the given order. d is retained and re-evaluated lazily, so it must
+// reflect the algorithm's current identifier-to-bucket mapping at all
+// times.
+func New(n int, d func(uint32) ID, order Order, opt Options) *Par {
+	nB := opt.OpenBuckets
+	if nB <= 0 {
+		nB = DefaultOpenBuckets
+	}
+	b := &Par{n: n, d: d, order: order, nB: nB, useSemi: opt.Semisort}
+	b.bkts = make([][]uint32, nB+1)
+
+	// Find the first/last non-empty logical bucket in parallel (§3.2:
+	// "calculating the number of initial buckets in parallel using
+	// reduce") and anchor the open range there.
+	var anchor ID
+	if order == Increasing {
+		anchor = parallel.Reduce(n, 0, Nil,
+			func(i int) ID { return d(uint32(i)) },
+			func(a, c ID) ID {
+				if a == Nil {
+					return c
+				}
+				if c == Nil {
+					return a
+				}
+				return min(a, c)
+			})
+	} else {
+		anchor = parallel.Reduce(n, 0, Nil,
+			func(i int) ID { return d(uint32(i)) },
+			func(a, c ID) ID {
+				if a == Nil {
+					return c
+				}
+				if c == Nil {
+					return a
+				}
+				return max(a, c)
+			})
+	}
+	if anchor == Nil {
+		b.done = true
+		return b
+	}
+	b.setRange(anchor)
+
+	// Bulk-insert the initial identifiers through the same machinery
+	// updates use (§3.2: "inserting identifiers into B can be done by
+	// then calling updateBuckets(D, n)").
+	b.UpdateBuckets(n, func(j int) (uint32, Dest) {
+		id := uint32(j)
+		return id, b.GetBucket(Nil, d(id))
+	})
+	// The bulk insert is bookkeeping, not algorithmic movement: reset
+	// the counters so Stats reflects only post-construction traffic.
+	b.stats = Stats{}
+	return b
+}
+
+// setRange positions the open range so that `first` is the first
+// logical bucket the traversal will visit.
+func (b *Par) setRange(first ID) {
+	if b.order == Increasing {
+		b.rangeLo = first
+		// Saturating high end; Nil is never a valid bucket id.
+		if first >= Nil-ID(b.nB) {
+			b.rangeHi = Nil - 1
+		} else {
+			b.rangeHi = first + ID(b.nB) - 1
+		}
+	} else {
+		b.rangeHi = first
+		if first < ID(b.nB) {
+			b.rangeLo = 0
+		} else {
+			b.rangeLo = first - ID(b.nB) + 1
+		}
+	}
+	b.cur = 0
+}
+
+// slotFor maps a logical bucket id inside the open range to its
+// physical slot index (0 is the first slot the traversal visits).
+func (b *Par) slotFor(id ID) int {
+	if b.order == Increasing {
+		return int(id - b.rangeLo)
+	}
+	return int(b.rangeHi - id)
+}
+
+// logical returns the logical bucket id of an open slot.
+func (b *Par) logical(slot int) ID {
+	if b.order == Increasing {
+		return b.rangeLo + ID(slot)
+	}
+	return b.rangeHi - ID(slot)
+}
+
+// inRange reports whether a logical id falls inside the open range.
+func (b *Par) inRange(id ID) bool {
+	return id != Nil && id >= b.rangeLo && id <= b.rangeHi
+}
+
+// behind reports whether logical id `id` is strictly behind the
+// traversal position (it will never be visited again).
+func (b *Par) behind(id ID) bool {
+	cur := b.logical(b.cur)
+	if b.order == Increasing {
+		return id < cur
+	}
+	return id > cur
+}
+
+// beyond reports whether logical id `id` is past the open range in
+// traversal direction (i.e. belongs in the overflow bucket).
+func (b *Par) beyond(id ID) bool {
+	if id == Nil {
+		return false
+	}
+	if b.order == Increasing {
+		return id > b.rangeHi
+	}
+	return id < b.rangeLo
+}
+
+// GetBucket implements Structure (§3.1, with the §3.3 open-range rule:
+// "we only move an identifier that is logically moving from its current
+// bucket to a new bucket if its new bucket is in the current range, or
+// if it is not yet in any bucket").
+func (b *Par) GetBucket(prev, next ID) Dest {
+	if next == Nil || next == prev || b.done {
+		return None
+	}
+	if b.inRange(next) {
+		if b.behind(next) {
+			return None
+		}
+		return Dest(b.slotFor(next))
+	}
+	if b.beyond(next) {
+		// Move into overflow only if the identifier is not already
+		// there: fresh identifiers (prev == Nil) and identifiers
+		// currently in the open range must move; identifiers already
+		// beyond the range stay put for free.
+		if prev == Nil || !b.beyond(prev) {
+			return Dest(b.nB)
+		}
+		return None
+	}
+	// next is behind the whole open range: it will never be visited;
+	// lazy deletion makes this free.
+	return None
+}
+
+// NextBucket implements Structure. It compacts the current slot with a
+// parallel filter (§3.2), advances through the open range, and when the
+// range is exhausted redistributes the overflow bucket into a new range
+// anchored at the nearest remaining bucket (§3.3's range advance; we
+// jump directly to the next non-empty bucket rather than walking empty
+// ranges, which only reduces the O(T) term of Lemma 3.2).
+func (b *Par) NextBucket() (ID, []uint32) {
+	if b.done {
+		return Nil, nil
+	}
+	for {
+		for b.cur <= b.nB-1 {
+			slot := b.cur
+			arr := b.bkts[slot]
+			if len(arr) == 0 {
+				b.cur++
+				continue
+			}
+			cur := b.logical(slot)
+			live := parallel.Filter(arr, func(id uint32) bool {
+				return b.d(id) == cur
+			})
+			b.bkts[slot] = nil
+			if len(live) == 0 {
+				b.cur++
+				continue
+			}
+			b.stats.Extracted += int64(len(live))
+			b.stats.BucketsReturned++
+			return cur, live
+		}
+		// Open range exhausted: redistribute overflow, if any.
+		over := b.bkts[b.nB]
+		if len(over) == 0 {
+			b.done = true
+			return Nil, nil
+		}
+		b.bkts[b.nB] = nil
+		// The next range is anchored at the nearest live bucket among
+		// overflow identifiers.
+		var anchor ID
+		if b.order == Increasing {
+			anchor = parallel.Reduce(len(over), 0, Nil,
+				func(j int) ID {
+					id := b.d(over[j])
+					if id == Nil || id <= b.rangeHi {
+						return Nil // stale copy: extracted or moved back
+					}
+					return id
+				},
+				func(a, c ID) ID {
+					if a == Nil {
+						return c
+					}
+					if c == Nil {
+						return a
+					}
+					return min(a, c)
+				})
+		} else {
+			anchor = parallel.Reduce(len(over), 0, Nil,
+				func(j int) ID {
+					id := b.d(over[j])
+					if id == Nil || id >= b.rangeLo {
+						return Nil
+					}
+					return id
+				},
+				func(a, c ID) ID {
+					if a == Nil {
+						return c
+					}
+					if c == Nil {
+						return a
+					}
+					return max(a, c)
+				})
+		}
+		if anchor == Nil {
+			b.done = true
+			return Nil, nil
+		}
+		prevLo, prevHi := b.rangeLo, b.rangeHi
+		b.setRange(anchor)
+		b.stats.RangeAdvances++
+		// Reinsert live overflow identifiers under the new range. An
+		// identifier is stale if its current logical bucket falls in
+		// (or behind) the previous range — it was moved or extracted.
+		b.UpdateBuckets(len(over), func(j int) (uint32, Dest) {
+			id := over[j]
+			next := b.d(id)
+			if next == Nil {
+				return id, None
+			}
+			if b.order == Increasing && next <= prevHi {
+				return id, None
+			}
+			if b.order == Decreasing && next >= prevLo {
+				return id, None
+			}
+			return id, b.GetBucket(Nil, next)
+		})
+	}
+}
+
+// UpdateBuckets implements Structure using the block-histogram strategy
+// of §3.3 (or the semisort strategy of §3.2 when configured): the k
+// updates are split into blocks of M = 2048; each block counts its
+// identifiers per destination slot; one scan over the slot-major count
+// matrix yields exact write offsets; a second pass scatters identifiers
+// directly into the (resized-once) destination buckets.
+func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
+	if k <= 0 || b.done {
+		return
+	}
+	if b.useSemi {
+		b.updateSemisort(k, f)
+		return
+	}
+	nSlots := b.nB + 1
+	nb := (k + updateBlock - 1) / updateBlock
+	need := nSlots * nb
+	if cap(b.counts) < need {
+		b.counts = make([]uint32, need)
+	}
+	counts := b.counts[:need]
+	parallel.For(len(counts), parallel.DefaultGrain, func(i int) { counts[i] = 0 })
+
+	// Pass 1: per-block histograms, laid out slot-major so that one
+	// exclusive scan produces, for every (slot, block), the offset of
+	// that block's contribution within the slot's incoming batch.
+	var skipped int64
+	parallel.For(nb, 1, func(blk int) {
+		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, k)
+		var skip int64
+		for j := lo; j < hi; j++ {
+			_, dest := f(j)
+			if dest == None {
+				skip++
+				continue
+			}
+			counts[int(dest)*nb+blk]++
+		}
+		if skip > 0 {
+			parallel.AddInt64(&skipped, skip)
+		}
+	})
+	total := parallel.Scan(counts, counts)
+
+	// Resize all destination buckets once (§3.2: "in parallel, resize
+	// all buckets that have identifiers moving to them").
+	starts := make([]uint32, nSlots+1)
+	for s := 0; s < nSlots; s++ {
+		starts[s] = counts[s*nb]
+	}
+	starts[nSlots] = total
+	oldLens := make([]int, nSlots)
+	parallel.For(nSlots, 8, func(s int) {
+		incoming := int(starts[s+1] - starts[s])
+		if incoming == 0 {
+			return
+		}
+		oldLens[s] = len(b.bkts[s])
+		b.bkts[s] = grow(b.bkts[s], incoming)
+	})
+
+	// Pass 2: scatter. Each block re-evaluates f and writes its
+	// identifiers at block-exclusive offsets, so no synchronization is
+	// needed within a slot.
+	parallel.For(nb, 1, func(blk int) {
+		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, k)
+		for j := lo; j < hi; j++ {
+			id, dest := f(j)
+			if dest == None {
+				continue
+			}
+			s := int(dest)
+			off := counts[s*nb+blk]
+			counts[s*nb+blk] = off + 1
+			b.bkts[s][oldLens[s]+int(off-starts[s])] = id
+		}
+	})
+	b.stats.Moved += int64(total)
+	b.stats.Skipped += skipped
+}
+
+// updateSemisort is the §3.2 update algorithm: build (destination,
+// identifier) pairs, semisort by destination, locate group boundaries,
+// then copy each contiguous group into its (resized-once) bucket.
+func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
+	type pair = semisort.Pair[uint32]
+	pairs := parallel.MapFilter(k, func(j int) (pair, bool) {
+		id, dest := f(j)
+		if dest == None {
+			parallel.AddInt64(&b.stats.Skipped, 1)
+			return pair{}, false
+		}
+		return pair{Key: uint32(dest), Value: id}, true
+	})
+	if len(pairs) == 0 {
+		return
+	}
+	sorted := semisort.Pairs(pairs)
+	starts := semisort.GroupStarts(sorted)
+	// Resize each destination bucket once, then copy its contiguous
+	// group in parallel.
+	parallel.For(len(starts), 1, func(gi int) {
+		lo := int(starts[gi])
+		hi := len(sorted)
+		if gi+1 < len(starts) {
+			hi = int(starts[gi+1])
+		}
+		s := int(sorted[lo].Key)
+		old := len(b.bkts[s])
+		b.bkts[s] = grow(b.bkts[s], hi-lo)
+		dst := b.bkts[s][old:]
+		for j := lo; j < hi; j++ {
+			dst[j-lo] = sorted[j].Value
+		}
+	})
+	b.stats.Moved += int64(len(sorted))
+}
+
+// Stats implements Structure.
+func (b *Par) Stats() Stats { return b.stats }
+
+// CurrentRange reports the open range and traversal position; the tests
+// use it to assert the §3.3 overflow behaviour.
+func (b *Par) CurrentRange() (lo, hi ID, overflow int) {
+	return b.rangeLo, b.rangeHi, len(b.bkts[b.nB])
+}
+
+// grow extends s by k zero elements, amortizing reallocation doubling.
+func grow(s []uint32, k int) []uint32 {
+	need := len(s) + k
+	if need <= cap(s) {
+		return s[:need]
+	}
+	ns := make([]uint32, need, max(need, 2*cap(s)))
+	copy(ns, s)
+	return ns
+}

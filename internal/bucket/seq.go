@@ -1,0 +1,130 @@
+package bucket
+
+// Seq is the sequential bucketing implementation of §3.2: buckets are
+// represented exactly (one dynamic array per logical bucket id), updates
+// are lazy insertions, and NextBucket compacts the current bucket by
+// dropping identifiers whose D no longer matches. Dest values for Seq
+// are simply the destination bucket id ("bucket_dest and bucket_id
+// types are identical... getBucket just returns next").
+//
+// Seq is the oracle for differential tests and the honest
+// single-threaded baseline for the benchmarks.
+type Seq struct {
+	d     func(uint32) ID
+	order Order
+	bkts  [][]uint32 // bkts[b] holds (possibly stale) copies for bucket b
+	cur   int64      // logical id of the current bucket (may be -1 done)
+	stats Stats
+}
+
+var _ Structure = (*Seq)(nil)
+
+// NewSeq creates the sequential structure over identifiers [0, n) with
+// initial buckets given by d (Nil means "not bucketed") traversed in
+// the given order. d is retained and re-evaluated lazily, so it must
+// reflect the algorithm's current identifier-to-bucket mapping.
+func NewSeq(n int, d func(uint32) ID, order Order) *Seq {
+	s := &Seq{d: d, order: order}
+	// Initial bucket count = 1 + max initial id (§3.2: "computing the
+	// initial number of buckets by iterating over D").
+	maxB := ID(0)
+	any := false
+	for i := 0; i < n; i++ {
+		if b := d(uint32(i)); b != Nil {
+			any = true
+			if b > maxB {
+				maxB = b
+			}
+		}
+	}
+	total := 0
+	if any {
+		total = int(maxB) + 1
+	}
+	s.bkts = make([][]uint32, total)
+	for i := 0; i < n; i++ {
+		if b := d(uint32(i)); b != Nil {
+			s.bkts[b] = append(s.bkts[b], uint32(i))
+		}
+	}
+	if order == Increasing {
+		s.cur = 0
+	} else {
+		s.cur = int64(total) - 1
+	}
+	return s
+}
+
+// NextBucket implements Structure.
+func (s *Seq) NextBucket() (ID, []uint32) {
+	step := int64(1)
+	if s.order == Decreasing {
+		step = -1
+	}
+	for s.cur >= 0 && s.cur < int64(len(s.bkts)) {
+		b := s.bkts[s.cur]
+		if len(b) == 0 {
+			s.cur += step
+			continue
+		}
+		// Compact: keep live identifiers (D(i) == cur), drop stale
+		// copies left behind by lazy moves.
+		live := b[:0]
+		for _, id := range b {
+			if s.d(id) == ID(s.cur) {
+				live = append(live, id)
+			}
+		}
+		cur := ID(s.cur)
+		s.bkts[s.cur] = nil
+		if len(live) == 0 {
+			s.cur += step
+			continue
+		}
+		s.stats.Extracted += int64(len(live))
+		s.stats.BucketsReturned++
+		return cur, live
+	}
+	return Nil, nil
+}
+
+// GetBucket implements Structure. For the exact representation the
+// destination is the target bucket id itself; None filters the cases
+// no physical move is needed.
+func (s *Seq) GetBucket(prev, next ID) Dest {
+	if next == Nil || next == prev {
+		return None
+	}
+	if s.order == Increasing {
+		if s.cur >= 0 && next < ID(s.cur) {
+			return None // strictly behind the traversal: dead on arrival
+		}
+	} else {
+		if s.cur >= 0 && s.cur < int64(len(s.bkts)) && next > ID(s.cur) {
+			return None
+		}
+	}
+	return Dest(next)
+}
+
+// UpdateBuckets implements Structure, inserting each identifier into
+// its destination bucket and opening new buckets as needed (§3.2:
+// "opening new buckets if next is outside the current range").
+func (s *Seq) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
+	for j := 0; j < k; j++ {
+		id, dest := f(j)
+		if dest == None {
+			s.stats.Skipped++
+			continue
+		}
+		b := int(dest)
+		for b >= len(s.bkts) {
+			s.bkts = append(s.bkts, nil)
+		}
+		s.bkts[b] = append(s.bkts[b], id)
+		s.stats.Moved++
+	}
+}
+
+// Stats implements Structure.
+func (s *Seq) Stats() Stats { return s.stats }

@@ -1,0 +1,58 @@
+package bucket
+
+import (
+	"sync/atomic"
+
+	"julienne/internal/parallel"
+)
+
+// Tracked wraps the parallel bucket structure with an internal
+// identifier→bucket_id map so callers supply only the destination
+// bucket, not the source. This is the alternative design §3.3
+// describes and rejects: "we found that the cost of maintaining this
+// array of size O(n) was significant (about 30% more expensive) ...
+// due to the cost of an extra random-access read and write per
+// identifier in updateBuckets". It exists so the ablation benchmark
+// can measure that trade-off; applications use Par directly.
+type Tracked struct {
+	par  *Par
+	prev []ID
+}
+
+// NewTracked mirrors New but hides GetBucket behind the internal map.
+func NewTracked(n int, d func(uint32) ID, order Order, opt Options) *Tracked {
+	t := &Tracked{prev: make([]ID, n)}
+	parallel.For(n, parallel.DefaultGrain, func(i int) {
+		t.prev[i] = d(uint32(i))
+	})
+	t.par = New(n, d, order, opt)
+	return t
+}
+
+// NextBucket forwards to the wrapped structure.
+func (t *Tracked) NextBucket() (ID, []uint32) { return t.par.NextBucket() }
+
+// Stats forwards to the wrapped structure.
+func (t *Tracked) Stats() Stats { return t.par.Stats() }
+
+// UpdateBucketsTo applies k updates where f supplies only (identifier,
+// next bucket_id); the previous bucket is read from — and the new one
+// written to — the internal map. The extra random read and write per
+// update is exactly the overhead the paper measured. f must be pure
+// with respect to j but is called once per index here (destinations
+// are materialized before the forwarded update).
+func (t *Tracked) UpdateBucketsTo(k int, f func(j int) (uint32, ID)) {
+	ids := make([]uint32, k)
+	dests := make([]Dest, k)
+	parallel.For(k, parallel.DefaultGrain, func(j int) {
+		id, next := f(j)
+		ids[j] = id
+		// The extra random read and write per update, fused into one
+		// atomic swap so concurrent updates to the same identifier
+		// stay well-defined (last write wins; stale copies are
+		// dropped by compaction as usual).
+		old := atomic.SwapUint32(&t.prev[id], next)
+		dests[j] = t.par.GetBucket(old, next)
+	})
+	t.par.UpdateBuckets(k, func(j int) (uint32, Dest) { return ids[j], dests[j] })
+}

@@ -1,0 +1,96 @@
+package bucket
+
+import (
+	"testing"
+
+	"julienne/internal/rng"
+)
+
+func TestTrackedMatchesPar(t *testing.T) {
+	// Drive Par (with explicit prev) and Tracked (internal prev)
+	// through the same workload; extractions must agree.
+	n := 3000
+	dp := make([]ID, n)
+	dt := make([]ID, n)
+	for i := range dp {
+		dp[i] = ID(rng.UintNAt(5, uint64(i), 200))
+		dt[i] = dp[i]
+	}
+	par := New(n, func(i uint32) ID { return dp[i] }, Increasing, Options{})
+	trk := NewTracked(n, func(i uint32) ID { return dt[i] }, Increasing, Options{})
+
+	round := uint64(0)
+	for {
+		round++
+		pb, pids := par.NextBucket()
+		tb, tids := trk.NextBucket()
+		if pb != tb {
+			t.Fatalf("bucket mismatch %d vs %d", pb, tb)
+		}
+		if pb == Nil {
+			break
+		}
+		if len(pids) != len(tids) {
+			t.Fatalf("bucket %d sizes %d vs %d", pb, len(pids), len(tids))
+		}
+		// Identical update stream: touch fanout pseudo-random ids.
+		type upd struct {
+			id   uint32
+			next ID
+		}
+		var updates []upd
+		for _, id := range pids {
+			dp[id] = Nil
+			dt[id] = Nil
+			for j := 0; j < 4; j++ {
+				v := uint32(rng.UintNAt(7, round<<20|uint64(id)<<3|uint64(j), uint64(n)))
+				if dp[v] == Nil {
+					continue
+				}
+				var next ID
+				if dp[v] > pb {
+					next = max(pb, dp[v]/2)
+				} else {
+					next = Nil
+				}
+				updates = append(updates, upd{v, next})
+			}
+		}
+		parDests := make([]Dest, len(updates))
+		for i, u := range updates {
+			parDests[i] = par.GetBucket(dp[u.id], u.next)
+			dp[u.id] = u.next
+		}
+		par.UpdateBuckets(len(updates), func(j int) (uint32, Dest) {
+			return updates[j].id, parDests[j]
+		})
+		// Tracked applies the same stream; its internal prev map must
+		// reproduce the explicit prev values. Mutate dt first so the
+		// liveness function agrees.
+		for _, u := range updates {
+			dt[u.id] = u.next
+		}
+		trk.UpdateBucketsTo(len(updates), func(j int) (uint32, ID) {
+			return updates[j].id, updates[j].next
+		})
+	}
+	if par.Stats().Extracted != trk.Stats().Extracted {
+		t.Fatalf("extraction totals differ: %d vs %d",
+			par.Stats().Extracted, trk.Stats().Extracted)
+	}
+}
+
+func TestTrackedSimple(t *testing.T) {
+	d := []ID{0, 3}
+	trk := NewTracked(2, func(i uint32) ID { return d[i] }, Increasing, Options{})
+	b, ids := trk.NextBucket()
+	if b != 0 || len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("first bucket (%d,%v)", b, ids)
+	}
+	d[1] = 1
+	trk.UpdateBucketsTo(1, func(int) (uint32, ID) { return 1, 1 })
+	b, ids = trk.NextBucket()
+	if b != 1 || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("moved bucket (%d,%v)", b, ids)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cli holds the flag plumbing shared by the cmd/ binaries:
+// building or loading input graphs and applying weight distributions.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+	"julienne/internal/graphio"
+)
+
+// GraphFlags selects an input graph: either a file or a generator.
+type GraphFlags struct {
+	File      *string
+	Gen       *string
+	N         *int
+	M         *int
+	Rows      *int
+	Cols      *int
+	Seed      *uint64
+	Symmetric *bool
+	Weights   *string
+}
+
+// Register installs the graph flags on fs.
+func Register(fs *flag.FlagSet) *GraphFlags {
+	return &GraphFlags{
+		File:      fs.String("file", "", "load graph from file (.adj/.txt = Ligra text, else binary)"),
+		Gen:       fs.String("gen", "rmat", "generator: rmat|er|chunglu|grid|regular"),
+		N:         fs.Int("n", 1<<14, "vertices (generators)"),
+		M:         fs.Int("m", 1<<17, "edges (generators)"),
+		Rows:      fs.Int("rows", 256, "grid rows"),
+		Cols:      fs.Int("cols", 256, "grid cols"),
+		Seed:      fs.Uint64("seed", 2017, "generator seed"),
+		Symmetric: fs.Bool("symmetric", true, "generate/load as undirected"),
+		Weights:   fs.String("weights", "", "weight distribution: ''|log|heavy|uniform:<lo>:<hi>"),
+	}
+}
+
+// Build constructs the graph the flags describe.
+func (gf *GraphFlags) Build() (*graph.CSR, error) {
+	var g *graph.CSR
+	var err error
+	if *gf.File != "" {
+		g, err = graphio.LoadFile(*gf.File, *gf.Symmetric)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		switch *gf.Gen {
+		case "rmat":
+			g = gen.RMAT(*gf.N, *gf.M, *gf.Symmetric, *gf.Seed)
+		case "er":
+			g = gen.ErdosRenyi(*gf.N, *gf.M, *gf.Symmetric, *gf.Seed)
+		case "chunglu":
+			g = gen.ChungLu(*gf.N, *gf.M, 2.3, *gf.Symmetric, *gf.Seed)
+		case "grid":
+			g = gen.Grid2D(*gf.Rows, *gf.Cols)
+		case "regular":
+			d := *gf.M / max(*gf.N, 1)
+			if d < 1 {
+				d = 8
+			}
+			g = gen.RandomRegular(*gf.N, d, *gf.Symmetric, *gf.Seed)
+		default:
+			return nil, fmt.Errorf("unknown generator %q", *gf.Gen)
+		}
+	}
+	switch w := *gf.Weights; {
+	case w == "":
+	case w == "log":
+		g = gen.LogWeights(g, *gf.Seed+1)
+	case w == "heavy":
+		g = gen.HeavyWeights(g, *gf.Seed+1)
+	default:
+		var lo, hi int
+		if _, err := fmt.Sscanf(w, "uniform:%d:%d", &lo, &hi); err != nil {
+			return nil, fmt.Errorf("bad -weights %q (want ''|log|heavy|uniform:<lo>:<hi>)", w)
+		}
+		g = gen.UniformWeights(g, graph.Weight(lo), graph.Weight(hi), *gf.Seed+1)
+	}
+	return g, nil
+}
+
+// Describe returns a one-line summary of g for banners.
+func Describe(g *graph.CSR) string {
+	kind := "directed"
+	if g.Symmetric() {
+		kind = "undirected"
+	}
+	w := "unweighted"
+	if g.Weighted() {
+		w = "weighted"
+	}
+	return fmt.Sprintf("%s %s graph: n=%d m=%d maxdeg=%d",
+		kind, w, g.NumVertices(), g.NumEdges(), g.MaxDegree())
+}

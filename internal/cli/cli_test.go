@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graphio"
+)
+
+func flagsFor(t *testing.T, args ...string) *GraphFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	gf := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return gf
+}
+
+func TestGenerators(t *testing.T) {
+	for _, genName := range []string{"rmat", "er", "chunglu", "regular"} {
+		gf := flagsFor(t, "-gen", genName, "-n", "256", "-m", "1024")
+		g, err := gf.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", genName, err)
+		}
+		if g.NumVertices() != 256 || g.NumEdges() == 0 {
+			t.Fatalf("%s: bad graph", genName)
+		}
+	}
+	gf := flagsFor(t, "-gen", "grid", "-rows", "5", "-cols", "7")
+	g, err := gf.Build()
+	if err != nil || g.NumVertices() != 35 {
+		t.Fatalf("grid: %v", err)
+	}
+}
+
+func TestUnknownGenerator(t *testing.T) {
+	gf := flagsFor(t, "-gen", "mystery")
+	if _, err := gf.Build(); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	for _, w := range []string{"log", "heavy", "uniform:1:50"} {
+		gf := flagsFor(t, "-gen", "grid", "-rows", "4", "-cols", "4", "-weights", w)
+		g, err := gf.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if !g.Weighted() {
+			t.Fatalf("%s: not weighted", w)
+		}
+	}
+	gf := flagsFor(t, "-weights", "bogus")
+	if _, err := gf.Build(); err == nil {
+		t.Fatal("bad weights spec accepted")
+	}
+}
+
+func TestFileLoading(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := graphio.SaveFile(path, gen.Grid2D(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	gf := flagsFor(t, "-file", path)
+	g, err := gf.Build()
+	if err != nil || g.NumVertices() != 9 {
+		t.Fatalf("file load: %v", err)
+	}
+	gf2 := flagsFor(t, "-file", filepath.Join(dir, "missing.bin"))
+	if _, err := gf2.Build(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe(gen.Grid2D(2, 2))
+	for _, want := range []string{"undirected", "unweighted", "n=4"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q: %s", want, d)
+		}
+	}
+	wd := Describe(gen.LogWeights(gen.Grid2D(2, 2), 1))
+	if !strings.Contains(wd, "weighted") {
+		t.Fatalf("Describe: %s", wd)
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"julienne/internal/algo/kcore"
+	"julienne/internal/algo/sssp"
+	"julienne/internal/bucket"
+	"julienne/internal/compress"
+	"julienne/internal/gen"
+	"julienne/internal/harness"
+	"julienne/internal/microbench"
+	"julienne/internal/rng"
+)
+
+// Ablations measures the design choices the paper calls out:
+//
+//   - §3.3 block-histogram vs. semisort updateBuckets ("we found that
+//     it was slow in practice due to the extra data movement")
+//   - §3.3 open-range size nB (default 128) and the overflow bucket
+//   - §3.3 user-supplied prev (GetBucket) vs. an internal prev map
+//     ("about 30% more expensive")
+//   - §4.2 light/heavy edge split ("did not find a significant
+//     improvement")
+//   - §1/Ligra+ compressed vs. plain CSR traversal
+func (s *Suite) Ablations() {
+	s.ablationUpdateStrategy()
+	s.ablationRangeSize()
+	s.ablationPrevTracking()
+	s.ablationLightHeavy()
+	s.ablationCompression()
+}
+
+func (s *Suite) microN() int {
+	switch s.Scale {
+	case Small:
+		return 1 << 14
+	case Large:
+		return 1 << 21
+	default:
+		return 1 << 18
+	}
+}
+
+func (s *Suite) ablationUpdateStrategy() {
+	s.section("Ablation: updateBuckets strategy (block histogram vs. semisort)")
+	t := harness.NewTable("identifiers", "buckets", "histogram", "semisort", "semisort/histogram")
+	n := s.microN()
+	for _, b := range []int{128, 1024} {
+		hist := harness.TimeMedian(s.reps(), func() {
+			microbench.Run(microbench.Config{Identifiers: n, Buckets: b, Seed: s.seed()})
+		})
+		semi := harness.TimeMedian(s.reps(), func() {
+			microbench.Run(microbench.Config{Identifiers: n, Buckets: b, Seed: s.seed(),
+				Options: bucket.Options{Semisort: true}})
+		})
+		t.AddRow(n, b, hist, semi, harness.Speedup(semi, hist))
+	}
+	t.Render(s.W)
+}
+
+func (s *Suite) ablationRangeSize() {
+	s.section("Ablation: open-range size nB (overflow traffic vs. exactness)")
+	t := harness.NewTable("nB", "k-core time", "bucket moves", "range advances")
+	g := s.Graphs()[1].G
+	for _, nb := range []int{16, 128, 1024, 1 << 20} {
+		opt := kcore.Options{Buckets: bucket.Options{OpenBuckets: nb}}
+		d := harness.TimeMedian(s.reps(), func() { kcore.Coreness(g, opt) })
+		res := kcore.Coreness(g, opt)
+		t.AddRow(nb, d, res.BucketStats.Moved, res.BucketStats.RangeAdvances)
+	}
+	t.Render(s.W)
+}
+
+// ablationPrevTracking drives the same microbenchmark-style update
+// stream through Par (caller-supplied prev via GetBucket) and Tracked
+// (internal prev map) — the §3.3 "about 30% more expensive" claim.
+func (s *Suite) ablationPrevTracking() {
+	s.section("Ablation: GetBucket prev (user-supplied) vs. internal prev map")
+	n := s.microN()
+	seed := s.seed()
+	par := harness.TimeMedian(s.reps(), func() { drivePar(n, seed) })
+	trk := harness.TimeMedian(s.reps(), func() { driveTracked(n, seed) })
+	t := harness.NewTable("identifiers", "user-prev (Par)", "internal map (Tracked)", "tracked/par")
+	t.AddRow(n, par, trk, harness.Speedup(trk, par))
+	t.Render(s.W)
+}
+
+// drivePar runs the microbenchmark protocol against Par with
+// caller-supplied prev buckets.
+func drivePar(n int, seed uint64) {
+	d := make([]bucket.ID, n)
+	for i := range d {
+		d[i] = bucket.ID(rng.UintNAt(seed, uint64(i), 512))
+	}
+	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, bucket.Options{})
+	var ids []uint32
+	var dests []bucket.Dest
+	round := uint64(0)
+	for {
+		cur, extracted := b.NextBucket()
+		if cur == bucket.Nil {
+			return
+		}
+		round++
+		ids, dests = ids[:0], dests[:0]
+		for _, id := range extracted {
+			for j := 0; j < 8; j++ {
+				v := uint32(rng.UintNAt(seed^0xabc, round<<24|uint64(id)<<3|uint64(j), uint64(n)))
+				prev := d[v]
+				if prev == bucket.Nil {
+					continue
+				}
+				next := bucket.Nil
+				if prev > cur {
+					next = max(cur, prev/2)
+				}
+				d[v] = next
+				if dest := b.GetBucket(prev, next); dest != bucket.None {
+					ids = append(ids, v)
+					dests = append(dests, dest)
+				}
+			}
+		}
+		b.UpdateBuckets(len(ids), func(j int) (uint32, bucket.Dest) { return ids[j], dests[j] })
+	}
+}
+
+// driveTracked runs the identical protocol against Tracked, which
+// maintains prev internally (the rejected design).
+func driveTracked(n int, seed uint64) {
+	d := make([]bucket.ID, n)
+	for i := range d {
+		d[i] = bucket.ID(rng.UintNAt(seed, uint64(i), 512))
+	}
+	b := bucket.NewTracked(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, bucket.Options{})
+	var ids []uint32
+	var nexts []bucket.ID
+	round := uint64(0)
+	for {
+		cur, extracted := b.NextBucket()
+		if cur == bucket.Nil {
+			return
+		}
+		round++
+		ids, nexts = ids[:0], nexts[:0]
+		for _, id := range extracted {
+			for j := 0; j < 8; j++ {
+				v := uint32(rng.UintNAt(seed^0xabc, round<<24|uint64(id)<<3|uint64(j), uint64(n)))
+				prev := d[v]
+				if prev == bucket.Nil {
+					continue
+				}
+				next := bucket.Nil
+				if prev > cur {
+					next = max(cur, prev/2)
+				}
+				d[v] = next
+				ids = append(ids, v)
+				nexts = append(nexts, next)
+			}
+		}
+		b.UpdateBucketsTo(len(ids), func(j int) (uint32, bucket.ID) { return ids[j], nexts[j] })
+	}
+}
+
+func (s *Suite) ablationLightHeavy() {
+	s.section("Ablation: delta-stepping light/heavy edge split (par. 4.2)")
+	t := harness.NewTable("graph", "plain", "light/heavy", "lh/plain")
+	delta := s.delta()
+	for _, ng := range []NamedGraph{s.Graphs()[1], s.Graphs()[4]} {
+		w := gen.HeavyWeights(ng.G, s.seed()+600)
+		plain := harness.TimeMedian(s.reps(), func() {
+			sssp.DeltaStepping(w, 0, delta, sssp.Options{})
+		})
+		lh := harness.TimeMedian(s.reps(), func() {
+			sssp.DeltaSteppingLH(w, 0, delta, sssp.Options{})
+		})
+		t.AddRow(ng.Name, plain, lh, harness.Speedup(lh, plain))
+	}
+	t.Render(s.W)
+}
+
+func (s *Suite) ablationCompression() {
+	s.section("Ablation: CSR vs. Ligra+-style compressed traversal")
+	t := harness.NewTable("graph", "csr bytes", "compressed bytes", "ratio",
+		"k-core csr", "k-core compressed")
+	for _, ng := range []NamedGraph{s.Graphs()[1], s.Graphs()[4]} {
+		c := compress.FromCSR(ng.G)
+		rawBytes := ng.G.NumEdges() * 4
+		csrT := harness.TimeMedian(s.reps(), func() { kcore.Coreness(ng.G, kcore.Options{}) })
+		cmpT := harness.TimeMedian(s.reps(), func() { kcore.Coreness(c, kcore.Options{}) })
+		t.AddRow(ng.Name, rawBytes, c.SizeBytes(),
+			float64(c.SizeBytes())/float64(rawBytes), csrT, cmpT)
+	}
+	t.Render(s.W)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"julienne/internal/algo/densest"
+	"julienne/internal/algo/kcore"
+	"julienne/internal/algo/setcover"
+	"julienne/internal/harness"
+	"julienne/internal/rng"
+)
+
+// Extensions reports the features beyond the paper's four applications
+// (DESIGN.md items 17–20): densest subgraph via bucketed peeling,
+// k-core extraction, and weighted set cover. These are not paper
+// artifacts; they demonstrate the framework's reach, so the section
+// reports quality metrics alongside times.
+func (s *Suite) Extensions() {
+	s.section("Extensions: densest subgraph (bucketed peel)")
+	t := harness.NewTable("graph", "impl", "time", "density", "|S|", "rounds")
+	for _, ng := range []NamedGraph{s.Graphs()[1], s.Graphs()[2]} {
+		ch := densest.Charikar(ng.G)
+		chT := harness.TimeMedian(s.reps(), func() { densest.Charikar(ng.G) })
+		t.AddRow(ng.Name, "charikar 2-approx", chT, ch.Density, len(ch.Vertices), ch.Rounds)
+		pb := densest.PeelBatch(ng.G, 0.1)
+		pbT := harness.TimeMedian(s.reps(), func() { densest.PeelBatch(ng.G, 0.1) })
+		t.AddRow(ng.Name, "batch peel (2+2e)", pbT, pb.Density, len(pb.Vertices), pb.Rounds)
+	}
+	t.Render(s.W)
+
+	s.section("Extensions: k-core extraction (4.1 footnote)")
+	t2 := harness.NewTable("graph", "k", "core vertices", "num cores", "time")
+	g := s.Graphs()[1].G
+	cores := kcore.Coreness(g, kcore.Options{}).Coreness
+	kmax := kcore.MaxCoreness(cores)
+	for _, k := range []uint32{2, kmax / 2, kmax} {
+		d := harness.TimeMedian(s.reps(), func() { kcore.ExtractCore(g, cores, k) })
+		sub := kcore.ExtractCore(g, cores, k)
+		t2.AddRow(s.Graphs()[1].Name, k, len(sub.Vertices), sub.NumCores, d)
+	}
+	t2.Render(s.W)
+
+	s.section("Extensions: weighted set cover (4.3 weighted case)")
+	inst := s.coverInstance()
+	r := rng.New(s.seed())
+	costs := make([]float64, inst.Sets)
+	for i := range costs {
+		costs[i] = 0.5 + 5*r.Float64()
+	}
+	t3 := harness.NewTable("impl", "time", "cover cost", "|cover|")
+	aw := setcover.ApproxWeighted(inst.Graph, inst.Sets, costs, setcover.Options{})
+	awT := harness.TimeMedian(s.reps(), func() {
+		setcover.ApproxWeighted(inst.Graph, inst.Sets, costs, setcover.Options{})
+	})
+	t3.AddRow("bucketed (e=0.01)", awT, aw.Cost, aw.CoverSize)
+	gw := setcover.GreedyWeighted(inst.Graph, inst.Sets, costs)
+	gwT := harness.TimeMedian(s.reps(), func() {
+		setcover.GreedyWeighted(inst.Graph, inst.Sets, costs)
+	})
+	t3.AddRow("greedy seq (exact)", gwT, gw.Cost, gw.CoverSize)
+	t3.Render(s.W)
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"julienne/internal/algo/kcore"
+	"julienne/internal/algo/setcover"
+	"julienne/internal/algo/sssp"
+	"julienne/internal/bucket"
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+	"julienne/internal/harness"
+	"julienne/internal/microbench"
+)
+
+// Figure1 reproduces the §3.4 microbenchmark plot: bucket-structure
+// throughput (identifiers/second) vs. average identifiers per round
+// for b ∈ {128, 256, 512, 1024}, plus one point per application
+// computed from its real bucket traffic — the same series Figure 1
+// overlays.
+func (s *Suite) Figure1() {
+	s.section("Figure 1: bucket throughput vs. identifiers/round")
+	var idCounts []int
+	switch s.Scale {
+	case Small:
+		idCounts = []int{1 << 10, 1 << 13, 1 << 16}
+	case Large:
+		idCounts = []int{1 << 10, 1 << 13, 1 << 16, 1 << 19, 1 << 22}
+	default:
+		idCounts = []int{1 << 10, 1 << 13, 1 << 16, 1 << 19}
+	}
+	t := harness.NewTable("series", "identifiers", "rounds", "avg ids/round", "throughput ids/s")
+	var allPts []microbench.Point
+	for _, b := range []int{128, 256, 512, 1024} {
+		for _, n := range idCounts {
+			p := microbench.Run(microbench.Config{Identifiers: n, Buckets: b, Seed: s.seed()})
+			allPts = append(allPts, p)
+			t.AddRow(fmt.Sprintf("%d buckets", b), n, p.Rounds, p.AvgPerRound, p.Throughput)
+		}
+	}
+	// Application points: (avg identifiers/round, throughput) measured
+	// from each application's bucket statistics over its full run.
+	appPoint := func(name string, run func() bucket.Stats) {
+		start := time.Now()
+		st := run()
+		elapsed := time.Since(start)
+		rounds := st.BucketsReturned
+		if rounds == 0 || elapsed <= 0 {
+			return
+		}
+		t.AddRow(name, "-", rounds,
+			float64(st.Throughput())/float64(rounds),
+			float64(st.Throughput())/elapsed.Seconds())
+	}
+	g := s.Graphs()[1].G
+	appPoint("k-core", func() bucket.Stats {
+		return kcore.Coreness(g, kcore.Options{}).BucketStats
+	})
+	wlog := gen.LogWeights(g, s.seed()+200)
+	appPoint("wBFS", func() bucket.Stats {
+		return sssp.WBFS(wlog, 0, sssp.Options{}).BucketStats
+	})
+	wheavy := gen.HeavyWeights(g, s.seed()+300)
+	appPoint("delta-stepping", func() bucket.Stats {
+		return sssp.DeltaStepping(wheavy, 0, s.delta(), sssp.Options{}).BucketStats
+	})
+	inst := s.coverInstance()
+	appPoint("setcover", func() bucket.Stats {
+		return setcover.Approx(inst.Graph, inst.Sets, setcover.Options{}).BucketStats
+	})
+	t.Render(s.W)
+	sum := microbench.Summarize(allPts)
+	fmt.Fprintf(s.W, "\npeak throughput: %.3g ids/s; half-performance length: %.3g ids/round\n",
+		sum.PeakThroughput, sum.HalfLength)
+}
+
+// sweepFigure renders one thread-scaling figure: per input graph, one
+// series per implementation, a row per thread count.
+func (s *Suite) sweepFigure(title string, impls []string,
+	run func(impl string, g *graph.CSR) func()) {
+
+	s.section(title)
+	t := harness.NewTable("graph", "impl", "threads", "time")
+	for _, ng := range s.scalingGraphs() {
+		for _, impl := range impls {
+			f := run(impl, ng.G)
+			for _, pt := range harness.ThreadSweep(s.reps(), f) {
+				t.AddRow(ng.Name, impl, pt.Threads, pt.Time)
+			}
+		}
+	}
+	t.Render(s.W)
+}
+
+// Figure2 is the k-core scaling figure: Julienne's work-efficient
+// implementation vs. the work-inefficient Ligra one.
+func (s *Suite) Figure2() {
+	s.sweepFigure("Figure 2: k-core running time vs. thread count",
+		[]string{"julienne", "ligra"},
+		func(impl string, g *graph.CSR) func() {
+			if impl == "julienne" {
+				return func() { kcore.Coreness(g, kcore.Options{}) }
+			}
+			return func() { kcore.CorenessLigra(g) }
+		})
+}
+
+// Figure3 is the wBFS scaling figure (weights in [1, log n)).
+func (s *Suite) Figure3() {
+	seed := s.seed() + 400
+	s.sweepFigure("Figure 3: wBFS running time vs. thread count (weights [1,log n))",
+		[]string{"julienne", "gap-bins", "bellman-ford"},
+		func(impl string, g *graph.CSR) func() {
+			w := gen.LogWeights(g, seed)
+			switch impl {
+			case "julienne":
+				return func() { sssp.WBFS(w, 0, sssp.Options{}) }
+			case "gap-bins":
+				return func() { sssp.DeltaSteppingBins(w, 0, 1) }
+			default:
+				return func() { sssp.BellmanFord(w, 0) }
+			}
+		})
+}
+
+// Figure4 is the ∆-stepping scaling figure (weights in [1, 10^5)).
+func (s *Suite) Figure4() {
+	seed := s.seed() + 500
+	delta := s.delta()
+	s.sweepFigure("Figure 4: delta-stepping running time vs. thread count (weights [1,1e5))",
+		[]string{"julienne", "gap-bins", "bellman-ford"},
+		func(impl string, g *graph.CSR) func() {
+			w := gen.HeavyWeights(g, seed)
+			switch impl {
+			case "julienne":
+				return func() { sssp.DeltaStepping(w, 0, delta, sssp.Options{}) }
+			case "gap-bins":
+				return func() { sssp.DeltaSteppingBins(w, 0, delta) }
+			default:
+				return func() { sssp.BellmanFord(w, 0) }
+			}
+		})
+}
+
+// Figure5 is the set-cover scaling figure: Julienne vs. the PBBS-style
+// implementation.
+func (s *Suite) Figure5() {
+	s.section("Figure 5: set cover running time vs. thread count (e=0.01)")
+	t := harness.NewTable("instance", "impl", "threads", "time")
+	inst := s.coverInstance()
+	for impl, f := range map[string]func(){
+		"julienne": func() { setcover.Approx(inst.Graph, inst.Sets, setcover.Options{}) },
+		"pbbs":     func() { setcover.ApproxPBBS(inst.Graph, inst.Sets, setcover.Options{}) },
+	} {
+		for _, pt := range harness.ThreadSweep(s.reps(), f) {
+			t.AddRow("setcover", impl, pt.Threads, pt.Time)
+		}
+	}
+	t.Render(s.W)
+}

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"math"
+
+	"julienne/internal/graph"
+	"julienne/internal/rng"
+)
+
+// UniformWeights returns a copy of g with integer edge weights drawn
+// uniformly from [lo, hi). Weights are a deterministic function of the
+// unordered endpoint pair, so for symmetric graphs the two directions of
+// an undirected edge always agree (a requirement for SSSP correctness on
+// undirected inputs).
+func UniformWeights(g *graph.CSR, lo, hi graph.Weight, seed uint64) *graph.CSR {
+	if lo < 0 || hi <= lo {
+		panic("gen: UniformWeights requires 0 <= lo < hi")
+	}
+	span := uint64(hi - lo)
+	return graph.Reweighted(g, func(u, v graph.Vertex) graph.Weight {
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		h := rng.Hash64(seed ^ (uint64(a)<<32 | uint64(b)))
+		return lo + graph.Weight(h%span)
+	})
+}
+
+// LogWeights returns a copy of g with weights uniform in [1, log2(n)),
+// the weighting the paper uses for its wBFS experiments (§5: "edge
+// weights between [1, log n) uniformly at random").
+func LogWeights(g *graph.CSR, seed uint64) *graph.CSR {
+	n := g.NumVertices()
+	hi := graph.Weight(2)
+	if n > 4 {
+		hi = graph.Weight(math.Ceil(math.Log2(float64(n))))
+	}
+	if hi < 2 {
+		hi = 2
+	}
+	return UniformWeights(g, 1, hi, seed)
+}
+
+// HeavyWeights returns a copy of g with weights uniform in [1, 10^5),
+// the paper's ∆-stepping weighting (§5).
+func HeavyWeights(g *graph.CSR, seed uint64) *graph.CSR {
+	return UniformWeights(g, 1, 100000, seed)
+}
+
+// SetCoverInstance describes a random bipartite set-cover instance:
+// vertices [0, Sets) are sets, vertices [Sets, Sets+Elements) are
+// elements, and edges run from sets to the elements they cover.
+type SetCoverInstance struct {
+	Graph    *graph.CSR
+	Sets     int
+	Elements int
+}
+
+// SetCover generates an instance where each element is covered by
+// 1 + Zipf-ish many sets and set sizes are skewed (a few large sets cover
+// much of the universe, as in the paper's web-derived instances). Every
+// element is guaranteed to be covered by at least one set, so a full
+// cover exists (∪F = U, §4.3).
+func SetCover(sets, elements, avgCover int, seed uint64) SetCoverInstance {
+	if avgCover < 1 {
+		avgCover = 1
+	}
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, elements*avgCover)
+	n := sets + elements
+	for e := 0; e < elements; e++ {
+		elem := graph.Vertex(sets + e)
+		// Skew set choice quadratically toward low ids so set sizes are
+		// heavy-tailed like real incidence structures.
+		cover := 1 + r.IntN(2*avgCover-1)
+		for j := 0; j < cover; j++ {
+			s := r.IntN(sets)
+			s = (s * (s + 1) / 2) % sets // quadratic fold concentrates mass
+			edges = append(edges, graph.Edge{U: graph.Vertex(s), V: elem})
+		}
+	}
+	opt := graph.DefaultBuild // directed: set -> element
+	g := graph.FromEdges(n, edges, opt)
+	return SetCoverInstance{Graph: g, Sets: sets, Elements: elements}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"testing"
+
+	"julienne/internal/rng"
+)
+
+func benchEdges(n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: Vertex(rng.UintNAt(1, uint64(2*i), uint64(n))),
+			V: Vertex(rng.UintNAt(1, uint64(2*i+1), uint64(n))),
+			W: Weight(rng.UintNAt(2, uint64(i), 100)),
+		}
+	}
+	return edges
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	edges := benchEdges(1<<16, 1<<19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(1<<16, edges, DefaultBuild)
+	}
+	b.SetBytes(int64(len(edges) * 12))
+}
+
+func BenchmarkFromEdgesSymmetrized(b *testing.B) {
+	edges := benchEdges(1<<16, 1<<18)
+	opt := DefaultBuild
+	opt.Symmetrize = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(1<<16, edges, opt)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	edges := benchEdges(1<<15, 1<<18)
+	g := FromEdges(1<<15, edges, DefaultBuild)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := g.Clone() // fresh, un-transposed copy
+		b.StartTimer()
+		c.InDegree(0) // forces the transpose build
+	}
+}
+
+func BenchmarkOutNeighborsTraversal(b *testing.B) {
+	edges := benchEdges(1<<14, 1<<18)
+	g := FromEdges(1<<14, edges, DefaultBuild)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			g.OutNeighbors(Vertex(v), func(u Vertex, w Weight) bool {
+				sink += int64(u)
+				return true
+			})
+		}
+	}
+	_ = sink
+	b.SetBytes(g.NumEdges() * 4)
+}
+
+func BenchmarkPackOut(b *testing.B) {
+	edges := benchEdges(1<<14, 1<<18)
+	base := FromEdges(1<<14, edges, DefaultBuild)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := base.Clone()
+		b.StartTimer()
+		for v := 0; v < g.NumVertices(); v++ {
+			g.PackOut(Vertex(v), func(u Vertex) bool { return u%2 == 0 })
+		}
+	}
+}

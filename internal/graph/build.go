@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"julienne/internal/parallel"
+)
+
+// Edge is one directed edge of an edge list, with an optional weight
+// (ignored when building unweighted graphs).
+type Edge struct {
+	U, V Vertex
+	W    Weight
+}
+
+// BuildOptions controls FromEdges.
+type BuildOptions struct {
+	// Weighted keeps edge weights; otherwise W fields are dropped.
+	Weighted bool
+	// Symmetrize inserts the reverse of every edge and marks the graph
+	// undirected.
+	Symmetrize bool
+	// DropSelfLoops removes edges with U == V (the paper assumes no
+	// self-edges, §2).
+	DropSelfLoops bool
+	// Dedup removes duplicate (U, V) pairs, keeping the first occurrence
+	// (and its weight). The paper assumes no duplicate edges (§2).
+	Dedup bool
+}
+
+// DefaultBuild matches the paper's graph assumptions: simple graphs with
+// no self-loops or duplicate edges.
+var DefaultBuild = BuildOptions{DropSelfLoops: true, Dedup: true}
+
+// FromEdges builds a CSR over n vertices from an arbitrary edge list.
+// The input slice is not modified. Adjacency lists come out sorted by
+// neighbor id, which Dedup requires and which makes traversal order
+// deterministic everywhere else.
+func FromEdges(n int, edges []Edge, opt BuildOptions) *CSR {
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n))
+		}
+		if opt.Weighted && e.W < 0 {
+			panic(fmt.Sprintf("graph: negative weight %d on edge (%d,%d)", e.W, e.U, e.V))
+		}
+	}
+	work := make([]Edge, 0, len(edges)*2)
+	for _, e := range edges {
+		if opt.DropSelfLoops && e.U == e.V {
+			continue
+		}
+		work = append(work, e)
+		if opt.Symmetrize && e.U != e.V {
+			work = append(work, Edge{U: e.V, V: e.U, W: e.W})
+		}
+	}
+
+	// Sort by (U, V) to get sorted adjacency lists; the radix sort is
+	// stable, so deduping keeps the first duplicate (and its weight).
+	parallel.SortByKey(work, func(e Edge) uint64 {
+		return uint64(e.U)<<32 | uint64(e.V)
+	})
+	if opt.Dedup {
+		work = slices.CompactFunc(work, func(a, b Edge) bool {
+			return a.U == b.U && a.V == b.V
+		})
+	}
+
+	m := len(work)
+	counts := make([]uint64, n+1)
+	for _, e := range work {
+		counts[e.U]++
+	}
+	offsets := make([]uint64, n+1)
+	parallel.Scan(offsets, counts)
+	edg := make([]Vertex, m)
+	var wgt []Weight
+	if opt.Weighted {
+		wgt = make([]Weight, m)
+	}
+	parallel.For(m, parallel.DefaultGrain, func(i int) {
+		edg[i] = work[i].V
+		if wgt != nil {
+			wgt[i] = work[i].W
+		}
+	})
+	return NewCSR(n, offsets, edg, wgt, opt.Symmetrize)
+}
+
+// Symmetrized returns the undirected version of g: every directed edge
+// appears in both directions, duplicates merged (keeping the weight of
+// the first occurrence in u-then-v order). If g is already symmetric a
+// clone is returned.
+func Symmetrized(g *CSR) *CSR {
+	if g.symmetric {
+		return g.Clone()
+	}
+	edges := make([]Edge, 0, len(g.outEdg))
+	for v := 0; v < g.n; v++ {
+		vv := Vertex(v)
+		nbrs := g.OutEdges(vv)
+		wgts := g.OutWeights(vv)
+		for i, u := range nbrs {
+			var w Weight
+			if wgts != nil {
+				w = wgts[i]
+			}
+			edges = append(edges, Edge{U: vv, V: u, W: w})
+		}
+	}
+	return FromEdges(g.n, edges, BuildOptions{
+		Weighted:      g.Weighted(),
+		Symmetrize:    true,
+		DropSelfLoops: true,
+		Dedup:         true,
+	})
+}
+
+// Reweighted returns a copy of g whose edge weights are produced by
+// w(u, v, i) for the i'th out-edge (u, v). For symmetric graphs callers
+// should make w symmetric in (u, v) so both directions agree; the
+// generators in internal/gen do this by hashing the unordered pair.
+func Reweighted(g *CSR, w func(u, v Vertex) Weight) *CSR {
+	c := g.Clone()
+	wgt := make([]Weight, len(c.outEdg))
+	parallel.For(c.n, 64, func(vi int) {
+		v := Vertex(vi)
+		lo, hi := c.outOff[v], c.outOff[v+1]
+		for i := lo; i < hi; i++ {
+			wgt[i] = w(v, c.outEdg[i])
+		}
+	})
+	c.outWgt = wgt
+	c.inOff, c.inEdg, c.inWgt = nil, nil, nil
+	if c.symmetric {
+		c.inOff, c.inEdg, c.inWgt = c.outOff, c.outEdg, c.outWgt
+	}
+	return c
+}
+
+// Validate checks CSR structural invariants; tests call it after builds
+// and generators. It returns a descriptive error or nil.
+func Validate(g *CSR) error {
+	if len(g.outOff) != g.n+1 {
+		return fmt.Errorf("offsets length %d, want %d", len(g.outOff), g.n+1)
+	}
+	if g.outOff[0] != 0 {
+		return fmt.Errorf("offsets[0] = %d, want 0", g.outOff[0])
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outOff[v] > g.outOff[v+1] {
+			return fmt.Errorf("offsets decrease at %d", v)
+		}
+	}
+	if g.outOff[g.n] != uint64(len(g.outEdg)) {
+		return fmt.Errorf("offsets[n] = %d, want %d", g.outOff[g.n], len(g.outEdg))
+	}
+	for v := 0; v < g.n; v++ {
+		nbrs := g.OutEdges(Vertex(v))
+		for i, u := range nbrs {
+			if int(u) >= g.n {
+				return fmt.Errorf("vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if u == Vertex(v) {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				return fmt.Errorf("adjacency of %d not strictly sorted at position %d", v, i)
+			}
+		}
+	}
+	if g.symmetric {
+		// Every edge must have its reverse.
+		for v := 0; v < g.n; v++ {
+			for _, u := range g.OutEdges(Vertex(v)) {
+				if !hasEdge(g, u, Vertex(v)) {
+					return fmt.Errorf("missing reverse edge (%d,%d)", u, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasEdge reports whether (u, v) is a live out-edge, by binary search
+// over u's sorted adjacency.
+func hasEdge(g *CSR, u, v Vertex) bool {
+	nbrs := g.OutEdges(u)
+	_, ok := slices.BinarySearch(nbrs, v)
+	return ok
+}

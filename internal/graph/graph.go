@@ -1,0 +1,60 @@
+// Package graph provides the in-memory graph representation used by every
+// algorithm in this repository: a compressed sparse row (CSR) structure
+// with optional integral edge weights and, for directed graphs, the
+// transposed adjacency needed by Ligra's pull-based (dense) edge map.
+//
+// Algorithms are written against the Graph interface so they run unchanged
+// over the plain CSR here and the byte-compressed representation in
+// internal/compress, mirroring how Julienne inherits Ligra+'s compression
+// (§1 of the paper: the 225B-edge Hyperlink graph only fits compressed).
+package graph
+
+// Vertex identifiers are dense integers in [0, NumVertices), as in
+// Ligra/Julienne (§2: "vertices are assumed to be indexed from 0 to n-1").
+type Vertex = uint32
+
+// NilVertex is a sentinel meaning "no vertex".
+const NilVertex Vertex = ^Vertex(0)
+
+// Weight is a non-negative integral edge weight. wBFS and ∆-stepping
+// assume non-negative integer weights (§4.2); 32 bits covers the paper's
+// [1, 10^5) range with room to spare.
+type Weight = int32
+
+// Graph is the read contract algorithms are written against.
+//
+// Neighbor iteration passes the neighbor and the edge weight (0 for
+// unweighted graphs) and stops early when the callback returns false.
+// For symmetric graphs In* and Out* coincide.
+type Graph interface {
+	// NumVertices returns n.
+	NumVertices() int
+	// NumEdges returns m, the number of directed edges stored
+	// (a symmetric graph stores each undirected edge twice).
+	NumEdges() int64
+	// Symmetric reports whether the graph is undirected.
+	Symmetric() bool
+	// Weighted reports whether edges carry weights.
+	Weighted() bool
+	// OutDegree returns the out-degree of v.
+	OutDegree(v Vertex) int
+	// InDegree returns the in-degree of v.
+	InDegree(v Vertex) int
+	// OutNeighbors calls f for each out-neighbor of v until f returns
+	// false. The iteration order is unspecified but deterministic.
+	OutNeighbors(v Vertex, f func(u Vertex, w Weight) bool)
+	// InNeighbors calls f for each in-neighbor of v until f returns false.
+	InNeighbors(v Vertex, f func(u Vertex, w Weight) bool)
+}
+
+// Packer is implemented by mutable graph representations that support
+// removing out-edges in place, the Pack option of edgeMapFilter (§2.1)
+// that approximate set cover uses to drop edges to covered elements.
+type Packer interface {
+	Graph
+	// PackOut keeps only the out-neighbors of v satisfying keep and
+	// returns the new out-degree. Only out-adjacency is packed; callers
+	// that need in-adjacency coherence must not mix PackOut with
+	// InNeighbors (set cover only traverses out-edges).
+	PackOut(v Vertex, keep func(u Vertex) bool) int
+}

@@ -1,0 +1,90 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"julienne/internal/graph"
+)
+
+// WriteEdgeList writes g as one "u v" (or "u v w") line per directed
+// edge — the SNAP-style format most public graph datasets ship in.
+// Lines beginning with '#' are comments on read.
+func WriteEdgeList(w io.Writer, g *graph.CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# julienne edge list: n=%d m=%d weighted=%v symmetric=%v\n",
+		g.NumVertices(), g.NumEdges(), g.Weighted(), g.Symmetric())
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.OutEdges(graph.Vertex(v))
+		wgts := g.OutWeights(graph.Vertex(v))
+		for i, u := range nbrs {
+			if wgts != nil {
+				fmt.Fprintf(bw, "%d %d %d\n", v, u, wgts[i])
+			} else {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a SNAP-style edge list: whitespace-separated
+// "u v" or "u v w" lines, '#' comments ignored. Vertex ids may be
+// sparse; n is max id + 1. opt controls symmetrization and dedup as in
+// graph.FromEdges; opt.Weighted is inferred from the first data line
+// when left false but a third column exists.
+func ReadEdgeList(r io.Reader, opt graph.BuildOptions) (*graph.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	maxID := int64(-1)
+	lineNo := 0
+	sawWeight := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graphio: line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 || u > 1<<31 || v > 1<<31 {
+			return nil, fmt.Errorf("graphio: line %d: vertex id out of range", lineNo)
+		}
+		var wt int64
+		if len(fields) == 3 {
+			sawWeight = true
+			wt, err = strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+		}
+		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: graph.Weight(wt)})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sawWeight {
+		opt.Weighted = true
+	}
+	return graph.FromEdges(int(maxID+1), edges, opt), nil
+}

@@ -1,0 +1,315 @@
+// Package graphio reads and writes graphs in the Ligra adjacency text
+// format (the format the paper's framework consumes) and in a compact
+// binary format for fast reloads of generated experiment inputs.
+//
+// Text format (Ligra):
+//
+//	AdjacencyGraph            (or WeightedAdjacencyGraph)
+//	<n>
+//	<m>
+//	<n offset lines>
+//	<m edge lines>
+//	<m weight lines>          (weighted only)
+//
+// Binary format: a fixed little-endian header (magic, version, flags,
+// n, m) followed by n+1 uint64 offsets, m uint32 edges and, when
+// weighted, m int32 weights.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"julienne/internal/graph"
+)
+
+const (
+	headerUnweighted = "AdjacencyGraph"
+	headerWeighted   = "WeightedAdjacencyGraph"
+
+	binMagic   = 0x4a4c4e47 // "JLNG"
+	binVersion = 1
+
+	flagWeighted  = 1 << 0
+	flagSymmetric = 1 << 1
+)
+
+// WriteText writes g in Ligra adjacency format.
+func WriteText(w io.Writer, g *graph.CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	header := headerUnweighted
+	if g.Weighted() {
+		header = headerWeighted
+	}
+	n := g.NumVertices()
+	m := g.NumEdges()
+	fmt.Fprintf(bw, "%s\n%d\n%d\n", header, n, m)
+	off := int64(0)
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(bw, "%d\n", off)
+		off += int64(g.OutDegree(graph.Vertex(v)))
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.OutEdges(graph.Vertex(v)) {
+			fmt.Fprintf(bw, "%d\n", u)
+		}
+	}
+	if g.Weighted() {
+		for v := 0; v < n; v++ {
+			for _, wt := range g.OutWeights(graph.Vertex(v)) {
+				fmt.Fprintf(bw, "%d\n", wt)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a Ligra adjacency file. Symmetry is not recorded in
+// the format; pass symmetric=true when the file is known to hold an
+// undirected graph (both edge directions present).
+func ReadText(r io.Reader, symmetric bool) (*graph.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := func() (string, error) {
+		for sc.Scan() {
+			tok := sc.Text()
+			if len(tok) > 0 {
+				return tok, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: reading header: %w", err)
+	}
+	var weighted bool
+	switch header {
+	case headerUnweighted:
+	case headerWeighted:
+		weighted = true
+	default:
+		return nil, fmt.Errorf("graphio: unknown header %q", header)
+	}
+	nextInt := func() (int64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseInt(tok, 10, 64)
+	}
+	n64, err := nextInt()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: reading n: %w", err)
+	}
+	m64, err := nextInt()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: reading m: %w", err)
+	}
+	n, m := int(n64), int(m64)
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graphio: negative sizes n=%d m=%d", n, m)
+	}
+	offsets := make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		o, err := nextInt()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: reading offset %d: %w", v, err)
+		}
+		if o < 0 || o > m64 {
+			return nil, fmt.Errorf("graphio: offset %d out of range", o)
+		}
+		offsets[v] = uint64(o)
+	}
+	offsets[n] = uint64(m)
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graphio: offsets not monotone at %d", v)
+		}
+	}
+	edges := make([]graph.Vertex, m)
+	for i := 0; i < m; i++ {
+		e, err := nextInt()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: reading edge %d: %w", i, err)
+		}
+		if e < 0 || e >= n64 {
+			return nil, fmt.Errorf("graphio: edge target %d out of range", e)
+		}
+		edges[i] = graph.Vertex(e)
+	}
+	var weights []graph.Weight
+	if weighted {
+		weights = make([]graph.Weight, m)
+		for i := 0; i < m; i++ {
+			w, err := nextInt()
+			if err != nil {
+				return nil, fmt.Errorf("graphio: reading weight %d: %w", i, err)
+			}
+			weights[i] = graph.Weight(w)
+		}
+	}
+	return graph.NewCSR(n, offsets, edges, weights, symmetric), nil
+}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *graph.CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumVertices()
+	m := g.NumEdges()
+	var flags uint32
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	if g.Symmetric() {
+		flags |= flagSymmetric
+	}
+	for _, v := range []uint64{binMagic, binVersion, uint64(flags), uint64(n), uint64(m)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	off := uint64(0)
+	for v := 0; v <= n; v++ {
+		if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+			return err
+		}
+		if v < n {
+			off += uint64(g.OutDegree(graph.Vertex(v)))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if err := binary.Write(bw, binary.LittleEndian, g.OutEdges(graph.Vertex(v))); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for v := 0; v < n; v++ {
+			if err := binary.Write(bw, binary.LittleEndian, g.OutWeights(graph.Vertex(v))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var header [5]uint64
+	if err := binary.Read(br, binary.LittleEndian, header[:]); err != nil {
+		return nil, fmt.Errorf("graphio: reading binary header: %w", err)
+	}
+	if header[0] != binMagic {
+		return nil, fmt.Errorf("graphio: bad magic %#x", header[0])
+	}
+	if header[1] != binVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", header[1])
+	}
+	flags := uint32(header[2])
+	if header[3] > maxBinaryVertices || header[4] > maxBinaryEdges {
+		return nil, fmt.Errorf("graphio: implausible sizes n=%d m=%d", header[3], header[4])
+	}
+	n, m := int(header[3]), int(header[4])
+	// Arrays are read in bounded chunks so a malicious header cannot
+	// force a huge up-front allocation: memory grows only as the
+	// stream actually delivers data.
+	offsets, err := readChunked[uint64](br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: reading offsets: %w", err)
+	}
+	if offsets[0] != 0 || offsets[n] != uint64(m) {
+		return nil, fmt.Errorf("graphio: malformed offsets")
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graphio: offsets not monotone at %d", v)
+		}
+	}
+	edges, err := readChunked[graph.Vertex](br, m)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: reading edges: %w", err)
+	}
+	for _, e := range edges {
+		if int64(e) >= int64(n) {
+			return nil, fmt.Errorf("graphio: edge target %d out of range", e)
+		}
+	}
+	var weights []graph.Weight
+	if flags&flagWeighted != 0 {
+		weights, err = readChunked[graph.Weight](br, m)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: reading weights: %w", err)
+		}
+	}
+	return graph.NewCSR(n, offsets, edges, weights, flags&flagSymmetric != 0), nil
+}
+
+const (
+	// maxBinaryVertices and maxBinaryEdges bound what ReadBinary will
+	// accept; they comfortably exceed anything a single machine holds
+	// while rejecting absurd headers outright.
+	maxBinaryVertices = 1 << 32
+	maxBinaryEdges    = 1 << 40
+)
+
+// readChunked reads exactly n fixed-size values, growing the result
+// incrementally (64Ki values per read) so truncated or hostile inputs
+// fail fast instead of pre-allocating n values worth of memory.
+func readChunked[T uint64 | uint32 | int32](r io.Reader, n int) ([]T, error) {
+	const chunk = 1 << 16
+	out := make([]T, 0, min(n, chunk))
+	for len(out) < n {
+		k := min(chunk, n-len(out))
+		tmp := make([]T, k)
+		if err := binary.Read(r, binary.LittleEndian, tmp); err != nil {
+			return nil, err
+		}
+		out = append(out, tmp...)
+	}
+	return out, nil
+}
+
+// SaveFile writes g to path, choosing the format by extension:
+// ".adj" or ".txt" for Ligra text, anything else for binary.
+func SaveFile(path string, g *graph.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if isTextPath(path) {
+		return WriteText(f, g)
+	}
+	return WriteBinary(f, g)
+}
+
+// LoadFile reads a graph saved by SaveFile. symmetric applies to text
+// files only (the binary format records it).
+func LoadFile(path string, symmetric bool) (*graph.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if isTextPath(path) {
+		return ReadText(f, symmetric)
+	}
+	return ReadBinary(f)
+}
+
+func isTextPath(path string) bool {
+	for _, suf := range []string{".adj", ".txt"} {
+		if len(path) >= len(suf) && path[len(path)-len(suf):] == suf {
+			return true
+		}
+	}
+	return false
+}

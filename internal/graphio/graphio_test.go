@@ -1,0 +1,225 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+)
+
+func assertSame(t *testing.T, name string, want, got *graph.CSR) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("%s: shape mismatch", name)
+	}
+	if want.Weighted() != got.Weighted() {
+		t.Fatalf("%s: weighted flag mismatch", name)
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		vv := graph.Vertex(v)
+		we, ge := want.OutEdges(vv), got.OutEdges(vv)
+		if len(we) != len(ge) {
+			t.Fatalf("%s: degree(%d) %d vs %d", name, v, len(we), len(ge))
+		}
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("%s: edge %d of %d differs", name, i, v)
+			}
+		}
+		ww, gw := want.OutWeights(vv), got.OutWeights(vv)
+		for i := range ww {
+			if ww[i] != gw[i] {
+				t.Fatalf("%s: weight %d of %d differs", name, i, v)
+			}
+		}
+	}
+}
+
+func families() map[string]*graph.CSR {
+	return map[string]*graph.CSR{
+		"rmat":     gen.RMAT(1<<9, 3000, true, 1),
+		"grid":     gen.Grid2D(9, 11),
+		"er-dir":   gen.ErdosRenyi(200, 900, false, 2),
+		"weighted": gen.LogWeights(gen.Grid2D(8, 8), 3),
+		"empty":    graph.FromEdges(5, nil, graph.DefaultBuild),
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for name, g := range families() {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadText(&buf, g.Symmetric())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSame(t, name, g, got)
+		if got.Symmetric() != g.Symmetric() {
+			t.Fatalf("%s: symmetry flag lost", name)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for name, g := range families() {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSame(t, name, g, got)
+		if got.Symmetric() != g.Symmetric() {
+			t.Fatalf("%s: symmetry flag lost", name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.LogWeights(gen.RMAT(1<<8, 1500, true, 7), 7)
+	for _, name := range []string{"g.adj", "g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSame(t, name, g, got)
+	}
+}
+
+func TestTextHeaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":   "NotAGraph\n1\n0\n0\n",
+		"truncated":    "AdjacencyGraph\n2\n",
+		"bad offset":   "AdjacencyGraph\n2\n1\n0\n9\n1\n",
+		"bad edge":     "AdjacencyGraph\n2\n1\n0\n1\n7\n",
+		"non-numeric":  "AdjacencyGraph\nx\n0\n",
+		"neg sizes":    "AdjacencyGraph\n-1\n0\n",
+		"offset order": "AdjacencyGraph\n2\n2\n2\n0\n0\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in), false); err == nil {
+			t.Fatalf("%s: error expected", name)
+		}
+	}
+}
+
+func TestBinaryHeaderErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header accepted")
+	}
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, gen.Path(4))
+	raw := buf.Bytes()
+	raw[0] ^= 0xff // corrupt magic
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPackedGraphSavesLiveEdges(t *testing.T) {
+	g := gen.Star(6)
+	g.PackOut(0, func(u graph.Vertex) bool { return u%2 == 1 })
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OutDegree(0) != 3 {
+		t.Fatalf("packed save degree %d want 3", got.OutDegree(0))
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for name, g := range families() {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		opt := graph.BuildOptions{Weighted: g.Weighted(), DropSelfLoops: true, Dedup: true}
+		got, err := ReadEdgeList(&buf, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "empty" {
+			if got.NumVertices() != 0 {
+				t.Fatalf("empty graph read back %d vertices", got.NumVertices())
+			}
+			continue // edge lists cannot represent trailing isolated vertices
+		}
+		// Isolated max-id vertices survive since n = maxID+1; compare
+		// edges structurally via a trimmed oracle.
+		if got.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: m %d vs %d", name, got.NumEdges(), g.NumEdges())
+		}
+		for v := 0; v < got.NumVertices(); v++ {
+			we, ge := g.OutEdges(graph.Vertex(v)), got.OutEdges(graph.Vertex(v))
+			if len(we) != len(ge) {
+				t.Fatalf("%s: degree(%d)", name, v)
+			}
+			for i := range we {
+				if we[i] != ge[i] {
+					t.Fatalf("%s: edge %d of %d", name, i, v)
+				}
+			}
+			ww, gw := g.OutWeights(graph.Vertex(v)), got.OutWeights(graph.Vertex(v))
+			for i := range ww {
+				if ww[i] != gw[i] {
+					t.Fatalf("%s: weight %d of %d", name, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeListComments(t *testing.T) {
+	in := "# comment\n\n0 1\n1 2 \n# more\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), graph.DefaultBuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListWeightInference(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 7\n1 2 9\n"), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weights not inferred")
+	}
+	w := g.OutWeights(0)
+	if len(w) != 1 || w[0] != 7 {
+		t.Fatalf("weights %v", w)
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"too many fields": "0 1 2 3\n",
+		"bad int":         "x 1\n",
+		"negative":        "-1 2\n",
+		"bad weight":      "0 1 zz\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in), graph.DefaultBuild); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package harness provides the experiment plumbing shared by the
+// cmd/experiments driver and the root benchmark suite: repeated timing
+// with medians, GOMAXPROCS sweeps (the thread-count axes of Figures
+// 2–5), and fixed-width table rendering that mirrors the layout of the
+// paper's Table 3.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"julienne/internal/parallel"
+)
+
+// TimeMedian runs f `reps` times and returns the median wall-clock
+// duration. reps < 1 is treated as 1.
+func TimeMedian(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// ThreadCounts returns the GOMAXPROCS values the sweeps use: powers of
+// two up to the machine's CPU count (always including 1 and the full
+// count). On a 1-CPU machine this is just {1}; the sweep code is the
+// same one that produces the paper's 72-core curves.
+func ThreadCounts() []int {
+	maxP := runtime.NumCPU()
+	var ps []int
+	for p := 1; p < maxP; p *= 2 {
+		ps = append(ps, p)
+	}
+	ps = append(ps, maxP)
+	return ps
+}
+
+// SweepPoint is one (threads, time) sample of a scaling curve.
+type SweepPoint struct {
+	Threads int
+	Time    time.Duration
+}
+
+// ThreadSweep times f at every thread count, restoring GOMAXPROCS
+// afterwards. f must be a complete self-contained run (Figures 2–5
+// time whole algorithm executions).
+func ThreadSweep(reps int, f func()) []SweepPoint {
+	defer parallel.SetProcs(parallel.SetProcs(0))
+	var pts []SweepPoint
+	for _, p := range ThreadCounts() {
+		parallel.SetProcs(p)
+		pts = append(pts, SweepPoint{Threads: p, Time: TimeMedian(reps, f)})
+	}
+	return pts
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are rendered with %v (durations get
+// millisecond formatting via Ms).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = Ms(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Ms renders a duration in milliseconds with three significant digits,
+// the unit the paper's tables effectively use at laptop scale.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.3gms", float64(d.Microseconds())/1000.0)
+}
+
+// Speedup formats t1/tp, the per-row speedup column of Table 3.
+func Speedup(t1, tp time.Duration) string {
+	if tp <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(t1)/float64(tp))
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"julienne/internal/parallel"
+)
+
+func TestTimeMedian(t *testing.T) {
+	calls := 0
+	d := TimeMedian(5, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("calls=%d", calls)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+	TimeMedian(0, func() { calls++ })
+	if calls != 6 {
+		t.Fatal("reps<1 should run once")
+	}
+}
+
+func TestThreadCounts(t *testing.T) {
+	ps := ThreadCounts()
+	if len(ps) == 0 || ps[0] != 1 {
+		t.Fatalf("ThreadCounts=%v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatalf("not increasing: %v", ps)
+		}
+	}
+}
+
+func TestThreadSweepRestoresProcs(t *testing.T) {
+	before := parallel.Procs()
+	pts := ThreadSweep(1, func() { time.Sleep(time.Microsecond) })
+	if parallel.Procs() != before {
+		t.Fatalf("GOMAXPROCS not restored: %d vs %d", parallel.Procs(), before)
+	}
+	if len(pts) != len(ThreadCounts()) {
+		t.Fatalf("points=%d", len(pts))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "time", "speedup")
+	tbl.AddRow("k-core", 1500*time.Microsecond, Speedup(3*time.Millisecond, 1500*time.Microsecond))
+	tbl.AddRow("wBFS", 250*time.Microsecond, "-")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"name", "k-core", "1.5ms", "2.00x", "wBFS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestMsAndSpeedup(t *testing.T) {
+	if Ms(1500*time.Microsecond) != "1.5ms" {
+		t.Fatalf("Ms=%q", Ms(1500*time.Microsecond))
+	}
+	if Speedup(time.Second, 0) != "-" {
+		t.Fatal("zero divisor")
+	}
+	if Speedup(4*time.Second, 2*time.Second) != "2.00x" {
+		t.Fatal("speedup format")
+	}
+}

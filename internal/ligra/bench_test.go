@@ -1,0 +1,80 @@
+package ligra
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+	"julienne/internal/parallel"
+)
+
+func benchFrontier(g graph.Graph, frac int) VertexSubset {
+	n := g.NumVertices()
+	return FromSparse(n, parallel.PackIndices(n, func(v int) bool { return v%frac == 0 }))
+}
+
+func BenchmarkEdgeMapSparse(b *testing.B) {
+	g := gen.RMAT(1<<14, 1<<17, true, 1)
+	u := benchFrontier(g, 16)
+	always := func(graph.Vertex) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeMap(g, u, always,
+			func(s, d graph.Vertex, w graph.Weight) bool { return false },
+			EdgeMapOptions{NoDense: true})
+	}
+}
+
+func BenchmarkEdgeMapDense(b *testing.B) {
+	g := gen.RMAT(1<<14, 1<<17, true, 1)
+	u := benchFrontier(g, 2)
+	always := func(graph.Vertex) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeMap(g, u, always,
+			func(s, d graph.Vertex, w graph.Weight) bool { return false },
+			EdgeMapOptions{})
+	}
+}
+
+func BenchmarkEdgeMapCount(b *testing.B) {
+	g := gen.RMAT(1<<14, 1<<17, true, 1)
+	u := benchFrontier(g, 16)
+	var scratch CountScratch
+	always := func(graph.Vertex) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeMapCount(g, u, always, &scratch)
+	}
+}
+
+func BenchmarkEdgeMapTagged(b *testing.B) {
+	g := gen.RMAT(1<<14, 1<<17, true, 1)
+	u := benchFrontier(g, 16)
+	claimed := make([]uint32, g.NumVertices())
+	var epoch uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch++
+		e := epoch
+		EdgeMapTagged(g, u, func(graph.Vertex) bool { return true },
+			func(s, d graph.Vertex, w graph.Weight) (uint32, bool) {
+				old := atomic.LoadUint32(&claimed[d])
+				if old != e && atomic.CompareAndSwapUint32(&claimed[d], old, e) {
+					return uint32(s), true
+				}
+				return 0, false
+			})
+	}
+}
+
+func BenchmarkSparseDenseConversion(b *testing.B) {
+	n := 1 << 18
+	u := FromSparse(n, parallel.PackIndices(n, func(v int) bool { return v%3 == 0 }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := FromDense(n, u.Dense())
+		_ = d.Sparse()
+	}
+}

@@ -1,0 +1,257 @@
+package ligra
+
+import (
+	"julienne/internal/graph"
+	"julienne/internal/parallel"
+)
+
+// denseThresholdDivisor implements Ligra's direction optimization
+// heuristic (Beamer's threshold): switch to the dense/pull traversal
+// when |U| + sum of out-degrees over U exceeds m / 20.
+const denseThresholdDivisor = 20
+
+// EdgeMapOptions tunes EdgeMap.
+type EdgeMapOptions struct {
+	// NoDense forces the sparse (push) traversal. Algorithms whose F
+	// captures per-target state with a CAS race (∆-stepping) are
+	// push-only.
+	NoDense bool
+	// NoOutput skips building the output subset; use when EdgeMap is
+	// called purely for its side effects (set cover's VisitElms).
+	NoOutput bool
+}
+
+// EdgeMap applies F to edges (u, v) with u ∈ U and C(v) true, returning
+// the subset of targets v for which F returned true (§2.1).
+//
+// Contract (same as Ligra): in the sparse/push direction F may be called
+// concurrently for the same target v from different sources, so F must
+// be atomic and must return true at most once per target per call
+// (typically via CAS); the returned subset then contains no duplicates.
+// In the dense/pull direction F is called sequentially over the
+// in-neighbors of each v and iteration stops early once C(v) becomes
+// false, so F may be non-atomic with respect to v.
+func EdgeMap(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
+	f func(src, dst graph.Vertex, w graph.Weight) bool, opt EdgeMapOptions) VertexSubset {
+
+	n := g.NumVertices()
+	if u.IsEmpty() {
+		return Empty(n)
+	}
+	if !opt.NoDense {
+		threshold := g.NumEdges() / denseThresholdDivisor
+		if int64(u.Size())+u.outDegreeSum(g) > threshold {
+			return edgeMapDense(g, u, c, f, opt)
+		}
+	}
+	return edgeMapSparse(g, u, c, f, opt)
+}
+
+// edgeMapSparse is the push traversal: map over the out-edges of U.
+// The output is collected into per-block buffers and concatenated, so
+// the memory written is proportional to the output size (the §5
+// optimization the paper credits for its single-thread edge).
+func edgeMapSparse(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
+	f func(src, dst graph.Vertex, w graph.Weight) bool, opt EdgeMapOptions) VertexSubset {
+
+	ids := u.Sparse()
+	n := g.NumVertices()
+	if opt.NoOutput {
+		parallel.For(len(ids), 16, func(i int) {
+			src := ids[i]
+			g.OutNeighbors(src, func(dst graph.Vertex, w graph.Weight) bool {
+				if c(dst) {
+					f(src, dst, w)
+				}
+				return true
+			})
+		})
+		return Empty(n)
+	}
+	// One output buffer per worker keeps allocation proportional to the
+	// output frontier (the §5 optimization), not to the source count.
+	parts := make([][]graph.Vertex, parallel.Procs())
+	parallel.Workers(len(ids), func(worker, lo, hi int) {
+		local := parts[worker]
+		for i := lo; i < hi; i++ {
+			src := ids[i]
+			g.OutNeighbors(src, func(dst graph.Vertex, w graph.Weight) bool {
+				if c(dst) && f(src, dst, w) {
+					local = append(local, dst)
+				}
+				return true
+			})
+		}
+		parts[worker] = local
+	})
+	return FromSparse(n, flatten(parts))
+}
+
+// flatten concatenates per-worker buffers into one slice.
+func flatten[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	flat := make([]T, 0, total)
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	return flat
+}
+
+// edgeMapDense is the pull traversal: every target v with C(v) true
+// scans its in-neighbors for members of U and stops as soon as C(v)
+// turns false (e.g. BFS sets the parent and stops).
+func edgeMapDense(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
+	f func(src, dst graph.Vertex, w graph.Weight) bool, opt EdgeMapOptions) VertexSubset {
+
+	n := g.NumVertices()
+	inU := u.Dense()
+	outMember := make([]bool, n)
+	parallel.For(n, 256, func(vi int) {
+		dst := graph.Vertex(vi)
+		if !c(dst) {
+			return
+		}
+		g.InNeighbors(dst, func(src graph.Vertex, w graph.Weight) bool {
+			if inU[src] && f(src, dst, w) {
+				outMember[vi] = true
+			}
+			return c(dst) // early exit once the target is settled
+		})
+	})
+	if opt.NoOutput {
+		return Empty(n)
+	}
+	return FromDense(n, outMember)
+}
+
+// EdgeMapTagged is the push-only edge map whose F returns an optional
+// value of type T for the target vertex; the output is the tagged subset
+// of targets that received a value. This is the maybe(T)-returning
+// edgeMap the paper's ∆-stepping uses to capture each visited vertex's
+// distance at the start of the round (Algorithm 2, lines 4–10): F must
+// arrange (via CAS) that at most one source wins each target.
+func EdgeMapTagged[T any](g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
+	f func(src, dst graph.Vertex, w graph.Weight) (T, bool)) Tagged[T] {
+
+	ids := u.Sparse()
+	n := g.NumVertices()
+	p := parallel.Procs()
+	idParts := make([][]graph.Vertex, p)
+	valParts := make([][]T, p)
+	parallel.Workers(len(ids), func(worker, lo, hi int) {
+		localIDs := idParts[worker]
+		localVals := valParts[worker]
+		for i := lo; i < hi; i++ {
+			src := ids[i]
+			g.OutNeighbors(src, func(dst graph.Vertex, w graph.Weight) bool {
+				if c(dst) {
+					if val, ok := f(src, dst, w); ok {
+						localIDs = append(localIDs, dst)
+						localVals = append(localVals, val)
+					}
+				}
+				return true
+			})
+		}
+		idParts[worker] = localIDs
+		valParts[worker] = localVals
+	})
+	return NewTagged(n, flatten(idParts), flatten(valParts))
+}
+
+// EdgeMapCount implements the paper's edgeMapSum (§2.1: edgeMapReduce
+// with M = 1 and R = +): for every vertex v adjacent to U with C(v)
+// true, it counts the number of edges from U reaching v and returns the
+// tagged subset of touched vertices with their counts. k-core uses it to
+// count edges removed from each neighbor of the peeled set.
+//
+// The reduction uses an atomic counter per touched vertex; the vertex
+// that increments a counter from zero claims v for the output, so the
+// output contains each touched vertex exactly once.
+func EdgeMapCount(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
+	scratch *CountScratch) Tagged[uint32] {
+
+	n := g.NumVertices()
+	scratch.ensure(n)
+	cnt := scratch.counts
+	ids := u.Sparse()
+	parts := make([][]graph.Vertex, parallel.Procs())
+	parallel.Workers(len(ids), func(worker, lo, hi int) {
+		claimed := parts[worker]
+		for i := lo; i < hi; i++ {
+			src := ids[i]
+			g.OutNeighbors(src, func(dst graph.Vertex, w graph.Weight) bool {
+				if c(dst) {
+					if parallel.AddUint32(&cnt[dst], 1) == 1 {
+						claimed = append(claimed, dst)
+					}
+				}
+				return true
+			})
+		}
+		parts[worker] = claimed
+	})
+	outIDs := flatten(parts)
+	outVals := make([]uint32, len(outIDs))
+	parallel.For(len(outIDs), parallel.DefaultGrain, func(i int) {
+		v := outIDs[i]
+		outVals[i] = cnt[v]
+		cnt[v] = 0 // reset for the next call
+	})
+	return NewTagged(n, outIDs, outVals)
+}
+
+// CountScratch is the reusable counter array for EdgeMapCount. Reusing
+// it across rounds keeps each round's allocation proportional to the
+// frontier, not to n.
+type CountScratch struct {
+	counts []uint32
+}
+
+func (s *CountScratch) ensure(n int) {
+	if len(s.counts) < n {
+		s.counts = make([]uint32, n)
+	}
+}
+
+// EdgeMapFilterCount implements the counting half of the paper's
+// edgeMapFilter (§2.1): for each u ∈ U it counts the out-neighbors
+// satisfying pred and returns the tagged subset of U with those counts.
+func EdgeMapFilterCount(g graph.Graph, u VertexSubset,
+	pred func(src, dst graph.Vertex) bool) Tagged[uint32] {
+
+	ids := u.Sparse()
+	vals := make([]uint32, len(ids))
+	parallel.For(len(ids), 16, func(i int) {
+		src := ids[i]
+		var c uint32
+		g.OutNeighbors(src, func(dst graph.Vertex, w graph.Weight) bool {
+			if pred(src, dst) {
+				c++
+			}
+			return true
+		})
+		vals[i] = c
+	})
+	return NewTagged(g.NumVertices(), ids, vals)
+}
+
+// EdgeMapPack implements edgeMapFilter with the Pack option (§2.1): it
+// removes the out-edges of each u ∈ U whose target fails pred, mutating
+// the graph, and returns the tagged subset of U with the new degrees.
+func EdgeMapPack(g graph.Packer, u VertexSubset,
+	pred func(src, dst graph.Vertex) bool) Tagged[uint32] {
+
+	ids := u.Sparse()
+	vals := make([]uint32, len(ids))
+	parallel.For(len(ids), 4, func(i int) {
+		src := ids[i]
+		vals[i] = uint32(g.PackOut(src, func(dst graph.Vertex) bool {
+			return pred(src, dst)
+		}))
+	})
+	return NewTagged(g.NumVertices(), ids, vals)
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import "sync"
+
+// Filter returns the elements of src satisfying pred, in their original
+// order (the Filter primitive of §2). Work O(n), depth O(n/P + P).
+func Filter[T any](src []T, pred func(T) bool) []T {
+	return FilterIndex(src, func(_ int, v T) bool { return pred(v) })
+}
+
+// FilterIndex is Filter where the predicate also sees the element index.
+// pred must be pure: it is evaluated twice per element (count pass and
+// copy pass), which avoids buffering survivors per block.
+func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	nb := numBlocks(n, DefaultGrain)
+	if p := 4 * Procs(); nb > p {
+		nb = p
+	}
+	blockSize := (n + nb - 1) / nb
+	nb = (n + blockSize - 1) / blockSize
+	if nb == 1 || Procs() == 1 {
+		out := make([]T, 0, n/4+4)
+		for i, v := range src {
+			if pred(i, v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	// Pass 1: count survivors per block.
+	counts := make([]int, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if pred(i, src[i]) {
+					c++
+				}
+			}
+			counts[b] = c
+		}(b, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for b := 0; b < nb; b++ {
+		c := counts[b]
+		counts[b] = total
+		total += c
+	}
+	out := make([]T, total)
+
+	// Pass 2: each block copies its survivors to its reserved range.
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			o := counts[b]
+			for i := lo; i < hi; i++ {
+				if pred(i, src[i]) {
+					out[o] = src[i]
+					o++
+				}
+			}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// PackIndices returns, in increasing order, the indices i in [0, n) for
+// which pred(i) is true. It is the "pack" step used after mapping an
+// indicator function, e.g. to find bucket boundaries after a semisort.
+func PackIndices(n int, pred func(i int) bool) []uint32 {
+	idx := make([]uint32, n)
+	For(n, DefaultGrain, func(i int) { idx[i] = uint32(i) })
+	return FilterIndex(idx, func(i int, _ uint32) bool { return pred(i) })
+}
+
+// MapFilter applies f to every index in [0, n) and keeps the values for
+// which f reports ok, preserving index order. It fuses a map with a
+// filter so callers avoid materializing the mapped slice.
+func MapFilter[T any](n int, f func(i int) (T, bool)) []T {
+	if n == 0 {
+		return nil
+	}
+	nb := numBlocks(n, DefaultGrain)
+	if p := 4 * Procs(); nb > p {
+		nb = p
+	}
+	blockSize := (n + nb - 1) / nb
+	nb = (n + blockSize - 1) / blockSize
+	if nb == 1 || Procs() == 1 {
+		out := make([]T, 0, n/4+4)
+		for i := 0; i < n; i++ {
+			if v, ok := f(i); ok {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	parts := make([][]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			var part []T
+			for i := lo; i < hi; i++ {
+				if v, ok := f(i); ok {
+					part = append(part, v)
+				}
+			}
+			parts[b] = part
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

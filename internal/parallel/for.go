@@ -1,0 +1,148 @@
+// Package parallel provides the fork-join primitives that every other
+// package in this repository is built on: parallel loops, reductions,
+// prefix sums (scan), filtering/packing, histograms, and the atomic
+// writeMin/writeMax primitives from the paper's preliminaries (§2).
+//
+// The model is the classic work-depth model realized with goroutines:
+// a parallel loop over n items splits the index space into contiguous
+// blocks of at least `grain` items, forks one goroutine per block (capped
+// at GOMAXPROCS blocks per wave), and joins. There is no work stealing —
+// Go's runtime lacks fine-grained stealing for loop iterations — so every
+// primitive uses blocked decomposition, which is also how the paper's own
+// practical implementation of updateBuckets works (§3.3 processes blocks
+// of M=2048 sequentially and combines them with a scan).
+//
+// All primitives degrade gracefully to purely sequential execution when
+// the input is below the grain or GOMAXPROCS is 1, so single-threaded
+// baselines pay no synchronization cost.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultGrain is the block size used when a caller passes grain <= 0.
+// 1024 amortizes goroutine startup (~hundreds of ns) against per-item work
+// of a few ns, the regime of the loops in this repository.
+const DefaultGrain = 1024
+
+// Procs reports the current parallelism level (GOMAXPROCS).
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// SetProcs sets GOMAXPROCS and returns the previous value. The experiment
+// harness uses it to sweep thread counts; library code never calls it.
+func SetProcs(p int) int { return runtime.GOMAXPROCS(p) }
+
+// numBlocks returns how many blocks of at least grain items n splits into.
+func numBlocks(n, grain int) int {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	b := (n + grain - 1) / grain
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Blocked runs body(lo, hi) over contiguous blocks covering [0, n) in
+// parallel. It is the root primitive: everything else is written on top.
+// Blocks have at least `grain` items (except possibly the last), and at
+// most 4*GOMAXPROCS blocks are created so oversubscription stays bounded
+// while still smoothing out block-to-block load imbalance.
+func Blocked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Procs()
+	nb := numBlocks(n, grain)
+	if maxb := 4 * p; nb > maxb {
+		nb = maxb
+	}
+	if p == 1 || nb == 1 {
+		body(0, n)
+		return
+	}
+	blockSize := (n + nb - 1) / nb
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs body(i) for every i in [0, n) in parallel with the given grain.
+func For(n, grain int, body func(i int)) {
+	Blocked(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs each of the given thunks, in parallel when GOMAXPROCS allows.
+// It is the binary/n-ary fork-join used for divide-and-conquer helpers.
+func Do(thunks ...func()) {
+	if len(thunks) == 0 {
+		return
+	}
+	if Procs() == 1 || len(thunks) == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// Workers partitions [0, n) into exactly one contiguous block per worker
+// (at most GOMAXPROCS workers) and calls body(worker, lo, hi). Unlike
+// Blocked it guarantees a stable worker index, which callers use to give
+// each goroutine a private scratch buffer.
+func Workers(n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Procs()
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	blockSize := (n + p - 1) / p
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}

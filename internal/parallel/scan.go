@@ -1,0 +1,96 @@
+package parallel
+
+import "sync"
+
+// Scan computes the exclusive prefix sum of src into dst and returns the
+// total: dst[i] = src[0] + ... + src[i-1], dst[0] = 0. dst and src may be
+// the same slice (the common in-place use). This is the Scan primitive of
+// §2 specialized to +, which is the only operator the framework needs.
+//
+// The implementation is the standard two-pass blocked scan: a parallel
+// pass computes per-block sums, a short sequential scan combines them into
+// block offsets, and a second parallel pass writes the prefix sums. Work
+// O(n), depth O(n/P + P).
+func Scan[T Number](dst, src []T) T {
+	n := len(src)
+	if len(dst) != n {
+		panic("parallel: Scan length mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	nb := numBlocks(n, DefaultGrain)
+	if p := 4 * Procs(); nb > p {
+		nb = p
+	}
+	blockSize := (n + nb - 1) / nb
+	nb = (n + blockSize - 1) / blockSize
+	if nb == 1 || Procs() == 1 {
+		var acc T
+		for i := 0; i < n; i++ {
+			v := src[i]
+			dst[i] = acc
+			acc += v
+		}
+		return acc
+	}
+
+	sums := make([]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			var acc T
+			for i := lo; i < hi; i++ {
+				acc += src[i]
+			}
+			sums[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+
+	var total T
+	for b := 0; b < nb; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := sums[b]
+			for i := lo; i < hi; i++ {
+				v := src[i]
+				dst[i] = acc
+				acc += v
+			}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// ScanInclusive computes the inclusive prefix sum of src into dst and
+// returns the total: dst[i] = src[0] + ... + src[i].
+func ScanInclusive[T Number](dst, src []T) T {
+	n := len(src)
+	if len(dst) != n {
+		panic("parallel: ScanInclusive length mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	// Exclusive scan into a scratch slice, then add src back in. The
+	// scratch copy keeps the kernel correct when dst and src alias.
+	tmp := make([]T, n)
+	total := Scan(tmp, src)
+	For(n, DefaultGrain, func(i int) {
+		dst[i] = tmp[i] + src[i]
+	})
+	return total
+}

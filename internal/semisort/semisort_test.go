@@ -1,0 +1,193 @@
+package semisort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"julienne/internal/rng"
+)
+
+// checkSemisorted verifies the semisort contract: output is a permutation
+// of the input and every key appears in exactly one contiguous run.
+func checkSemisorted(t *testing.T, in, out []Pair[uint32]) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(out))
+	}
+	// Permutation check via multiset of (key, value).
+	type kv struct{ k, v uint32 }
+	counts := map[kv]int{}
+	for _, p := range in {
+		counts[kv{p.Key, p.Value}]++
+	}
+	for _, p := range out {
+		counts[kv{p.Key, p.Value}]--
+	}
+	for c, k := range counts {
+		if k != 0 {
+			t.Fatalf("not a permutation: %v has balance %d", c, k)
+		}
+	}
+	// Contiguity: once a key's run ends, it never reappears.
+	seen := map[uint32]bool{}
+	for i, p := range out {
+		if i > 0 && out[i-1].Key != p.Key {
+			if seen[p.Key] {
+				t.Fatalf("key %d appears in two separate runs (index %d)", p.Key, i)
+			}
+			seen[out[i-1].Key] = true
+		}
+	}
+}
+
+func randomPairs(seed uint64, n, keyRange int) []Pair[uint32] {
+	r := rng.New(seed)
+	in := make([]Pair[uint32], n)
+	for i := range in {
+		in[i] = Pair[uint32]{Key: uint32(r.IntN(keyRange)), Value: uint32(i)}
+	}
+	return in
+}
+
+func TestPairsSmall(t *testing.T) {
+	in := []Pair[uint32]{{3, 0}, {1, 1}, {3, 2}, {2, 3}, {1, 4}}
+	out := Pairs(in)
+	checkSemisorted(t, in, out)
+}
+
+func TestPairsEmpty(t *testing.T) {
+	if out := Pairs([]Pair[uint32]{}); len(out) != 0 {
+		t.Fatal("empty input produced non-empty output")
+	}
+}
+
+func TestPairsSingleKey(t *testing.T) {
+	in := randomPairs(1, 5000, 1)
+	out := Pairs(in)
+	checkSemisorted(t, in, out)
+}
+
+func TestPairsManySizes(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 95, 96, 97, 1000, 2047, 2048, 2049, 50000} {
+		for _, keyRange := range []int{1, 2, 7, 100, 1 << 20} {
+			in := randomPairs(uint64(n*31+keyRange), n, keyRange)
+			out := Pairs(in)
+			checkSemisorted(t, in, out)
+		}
+	}
+}
+
+func TestPairsAdversarialKeys(t *testing.T) {
+	// Keys that collide in the low bits; the salted hash must still
+	// spread them.
+	n := 40000
+	in := make([]Pair[uint32], n)
+	for i := range in {
+		in[i] = Pair[uint32]{Key: uint32(i%17) << 20, Value: uint32(i)}
+	}
+	out := Pairs(in)
+	checkSemisorted(t, in, out)
+}
+
+func TestPairsDoesNotModifyInput(t *testing.T) {
+	in := randomPairs(5, 10000, 50)
+	before := make([]Pair[uint32], len(in))
+	copy(before, in)
+	_ = Pairs(in)
+	for i := range in {
+		if in[i] != before[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestGroupStarts(t *testing.T) {
+	sorted := []Pair[uint32]{{1, 0}, {1, 1}, {4, 2}, {4, 3}, {4, 4}, {9, 5}}
+	starts := GroupStarts(sorted)
+	want := []uint32{0, 2, 5}
+	if len(starts) != len(want) {
+		t.Fatalf("starts=%v want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts=%v want %v", starts, want)
+		}
+	}
+}
+
+func TestGroupStartsEmpty(t *testing.T) {
+	if s := GroupStarts[uint32](nil); len(s) != 0 {
+		t.Fatal("GroupStarts(nil) non-empty")
+	}
+}
+
+func TestGroupStartsCountsDistinctKeys(t *testing.T) {
+	in := randomPairs(11, 30000, 200)
+	out := Pairs(in)
+	distinct := map[uint32]bool{}
+	for _, p := range in {
+		distinct[p.Key] = true
+	}
+	starts := GroupStarts(out)
+	if len(starts) != len(distinct) {
+		t.Fatalf("GroupStarts found %d groups, want %d", len(starts), len(distinct))
+	}
+}
+
+func TestPairsProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		in := make([]Pair[uint32], len(keys))
+		for i, k := range keys {
+			in[i] = Pair[uint32]{Key: uint32(k % 64), Value: uint32(i)}
+		}
+		out := Pairs(in)
+		// Permutation + contiguity, inline (no *testing.T here).
+		if len(out) != len(in) {
+			return false
+		}
+		counts := map[[2]uint32]int{}
+		for _, p := range in {
+			counts[[2]uint32{p.Key, p.Value}]++
+		}
+		for _, p := range out {
+			counts[[2]uint32{p.Key, p.Value}]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		closed := map[uint32]bool{}
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Key != out[i].Key {
+				if closed[out[i].Key] {
+					return false
+				}
+				closed[out[i-1].Key] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Fatalf("nextPow2(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkSemisort(b *testing.B) {
+	in := randomPairs(7, 1<<18, 1024)
+	out := make([]Pair[uint32], len(in))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairsInto(out, in)
+	}
+	b.SetBytes(int64(len(in) * 8))
+}
