@@ -1,0 +1,32 @@
+# Developer targets for the julienne repository. `make check` is the
+# CI gate: build + full tests, static checks, and race-testing the
+# concurrency-sensitive packages (bucket counters, obs recorder).
+
+GO ?= go
+
+.PHONY: all build test vet fmt race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints nonconforming files; fail if any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./internal/bucket/... ./internal/obs/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+check: build test vet fmt race
+	@echo "check: ok"

@@ -17,6 +17,7 @@ import (
 	"julienne/internal/graph"
 	"julienne/internal/graphio"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 )
 
 // --- graph types ------------------------------------------------------------
@@ -208,6 +209,54 @@ func AllVertices(n int) VertexSubset { return ligra.All(n) }
 func EdgeMap(g Graph, u VertexSubset, c func(Vertex) bool,
 	f func(src, dst Vertex, w Weight) bool, opt EdgeMapOptions) VertexSubset {
 	return ligra.EdgeMap(g, u, c, f, opt)
+}
+
+// --- observability ------------------------------------------------------------
+
+// Recorder is the opt-in telemetry sink: named atomic counters and
+// gauges, Chrome trace-event spans (chrome://tracing / Perfetto), and
+// per-round metrics with observer hooks. A nil *Recorder is valid and
+// fully inert, so telemetry costs a nil check when disabled.
+type Recorder = obs.Recorder
+
+// NewRecorder creates an empty Recorder whose trace clock starts now.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// RoundMetrics is one recorded algorithm round: frontier size, bucket
+// extracted/moved/skipped deltas, edgeMap direction, and duration.
+type RoundMetrics = obs.RoundMetrics
+
+// RoundObserver receives every recorded round synchronously.
+type RoundObserver = obs.RoundObserver
+
+// TraceEvent is one Chrome trace-event entry, as written by
+// Recorder.WriteTrace.
+type TraceEvent = obs.TraceEvent
+
+// KCoreOptions configures KCoreWithOptions (bucket tuning plus an
+// optional Recorder).
+type KCoreOptions = kcore.Options
+
+// SSSPOptions configures the bucketed SSSP entry points (bucket tuning
+// plus an optional Recorder).
+type SSSPOptions = sssp.Options
+
+// KCoreWithOptions is KCore with full options: set Options.Recorder to
+// capture per-round frontier sizes, bucket traffic, and trace spans.
+func KCoreWithOptions(g Graph, opt KCoreOptions) KCoreResult {
+	return kcore.Coreness(g, opt)
+}
+
+// DeltaSteppingWithOptions is DeltaStepping with full options,
+// including an optional Recorder.
+func DeltaSteppingWithOptions(g Graph, src Vertex, delta int64, opt SSSPOptions) SSSPResult {
+	return sssp.DeltaStepping(g, src, delta, opt)
+}
+
+// WBFSWithOptions is WBFS with full options, including an optional
+// Recorder.
+func WBFSWithOptions(g Graph, src Vertex, opt SSSPOptions) SSSPResult {
+	return sssp.WBFS(g, src, opt)
 }
 
 // --- applications -------------------------------------------------------------

@@ -2,6 +2,7 @@ package julienne
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -287,5 +288,81 @@ func TestTrianglesAndTrussFacade(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("pendant edge missing from decomposition")
+	}
+}
+
+func TestObservabilityFacade(t *testing.T) {
+	g := RMAT(1<<10, 8000, true, 42)
+
+	rec := NewRecorder()
+	var observed []RoundMetrics
+	rec.OnRound(func(m RoundMetrics) { observed = append(observed, m) })
+	res := KCoreWithOptions(g, KCoreOptions{Recorder: rec})
+
+	if int64(len(observed)) != res.Rounds {
+		t.Fatalf("observed %d rounds, result says %d", len(observed), res.Rounds)
+	}
+	if rec.Counter("bucket.extracted") != res.BucketStats.Extracted {
+		t.Fatalf("counter extracted=%d, stats=%d",
+			rec.Counter("bucket.extracted"), res.BucketStats.Extracted)
+	}
+	var frontierSum int64
+	for _, m := range observed {
+		if m.Algo != "kcore" {
+			t.Fatalf("round algo %q", m.Algo)
+		}
+		frontierSum += int64(m.FrontierSize)
+	}
+	if frontierSum != res.BucketStats.Extracted {
+		t.Fatalf("frontier sum %d != extracted %d", frontierSum, res.BucketStats.Extracted)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "kcore.round" {
+			spans++
+		}
+	}
+	if int64(spans) != res.Rounds {
+		t.Fatalf("trace has %d kcore.round spans, want %d", spans, res.Rounds)
+	}
+
+	// The instrumented run must compute the same answer as the plain one.
+	plain := KCore(g)
+	for v := range plain {
+		if res.Coreness[v] != plain[v] {
+			t.Fatalf("coreness[%d] differs under instrumentation", v)
+		}
+	}
+
+	wg := LogWeights(g, 1)
+	rec2 := NewRecorder()
+	sres := DeltaSteppingWithOptions(wg, 0, 4, SSSPOptions{Recorder: rec2})
+	if rec2.NumRounds() == 0 || int64(rec2.NumRounds()) != sres.Rounds {
+		t.Fatalf("sssp rounds recorded=%d, result=%d", rec2.NumRounds(), sres.Rounds)
+	}
+	ref := Dijkstra(wg, 0)
+	for v := range sres.Dist {
+		if sres.Dist[v] != ref.Dist[v] {
+			t.Fatalf("dist[%d] differs under instrumentation", v)
+		}
+	}
+	if wres := WBFSWithOptions(wg, 0, SSSPOptions{Recorder: NewRecorder()}); wres.Dist[0] != 0 {
+		t.Fatal("wbfs with recorder")
+	}
+
+	// Nil recorder through the public options must be a no-op.
+	if nr := KCoreWithOptions(g, KCoreOptions{}); nr.Rounds != res.Rounds {
+		t.Fatal("uninstrumented run diverged")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"julienne/internal/gen"
 	"julienne/internal/graph"
 	"julienne/internal/microbench"
+	"julienne/internal/obs"
 )
 
 // benchGraph is the social-style input shared by the Table 3 and
@@ -67,6 +68,25 @@ func BenchmarkTable3KCoreJulienne(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kcore.Coreness(g, kcore.Options{})
+	}
+}
+
+// BenchmarkKCoreRecorderOff/On measure telemetry overhead: Off is the
+// uninstrumented path (nil Recorder — must match BenchmarkTable3KCoreJulienne),
+// On pays counters, round metrics and one span per peeling round.
+func BenchmarkKCoreRecorderOff(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kcore.Coreness(g, kcore.Options{Recorder: nil})
+	}
+}
+
+func BenchmarkKCoreRecorderOn(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kcore.Coreness(g, kcore.Options{Recorder: obs.NewRecorder()})
 	}
 }
 

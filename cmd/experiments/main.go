@@ -6,6 +6,7 @@
 //
 //	experiments [-exp all|table1|table2|table3|fig1..fig5|ablations]
 //	            [-scale small|medium|large] [-reps N] [-seed S]
+//	            [-trace out.json] [-stats] [-pprof :6060]
 //
 // A full run at -scale medium is recorded in EXPERIMENTS.md.
 package main
@@ -17,6 +18,7 @@ import (
 	"runtime"
 	"strings"
 
+	"julienne/internal/cli"
 	"julienne/internal/experiments"
 )
 
@@ -25,6 +27,7 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "input scale: small|medium|large")
 	reps := flag.Int("reps", 3, "timing repetitions (median is reported)")
 	seed := flag.Uint64("seed", 2017, "workload seed")
+	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -34,9 +37,14 @@ func main() {
 	}
 	fmt.Printf("julienne experiments — scale=%s reps=%d seed=%d cpus=%d\n",
 		*scaleFlag, *reps, *seed, runtime.NumCPU())
-	s := &experiments.Suite{W: os.Stdout, Scale: scale, Reps: *reps, Seed: *seed}
+	s := &experiments.Suite{W: os.Stdout, Scale: scale, Reps: *reps, Seed: *seed,
+		Rec: of.Recorder()}
 	if err := s.Run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if err := of.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	kcore [-impl julienne|ligra|bz] [graph flags]
+//	      [-trace out.json] [-stats] [-pprof :6060]
 //
 // Examples:
 //
 //	kcore -gen rmat -n 65536 -m 1048576
 //	kcore -file web.adj -impl bz
+//	kcore -gen rmat -trace kcore.json -stats
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	hist := flag.Int("hist", 10, "print the top-K coreness histogram buckets")
 	extract := flag.Int("k", -1, "also extract the k-core subgraph for this k (-1 = max core)")
 	gf := cli.Register(flag.CommandLine)
+	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	g, err := gf.Build()
@@ -39,12 +42,13 @@ func main() {
 	}
 	fmt.Println(cli.Describe(g))
 
+	rec := of.Recorder()
 	start := time.Now()
 	var cores []uint32
 	var rounds int64 = -1
 	switch *impl {
 	case "julienne":
-		res := kcore.Coreness(g, kcore.Options{})
+		res := kcore.Coreness(g, kcore.Options{Recorder: rec})
 		cores, rounds = res.Coreness, res.Rounds
 	case "ligra":
 		res := kcore.CorenessLigra(g)
@@ -84,5 +88,10 @@ func main() {
 		sub := kcore.ExtractCore(g, cores, k)
 		fmt.Printf("%d-core: %d vertices, %d edges, %d connected core(s)\n",
 			k, sub.Graph.NumVertices(), sub.Graph.NumEdges()/2, sub.NumCores)
+	}
+
+	if err := of.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

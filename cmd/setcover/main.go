@@ -6,6 +6,7 @@
 //
 //	setcover [-impl julienne|pbbs|greedy] [-sets S -elements E -cover C]
 //	         [-epsilon 0.01] [-file F] [-seed N]
+//	         [-trace out.json] [-stats] [-pprof :6060]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"julienne/internal/algo/setcover"
+	"julienne/internal/cli"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
 	"julienne/internal/graphio"
@@ -28,6 +30,7 @@ func main() {
 	eps := flag.Float64("epsilon", 0.01, "bucketing granularity epsilon")
 	file := flag.String("file", "", "load bipartite instance from graph file")
 	seed := flag.Uint64("seed", 2017, "generator seed")
+	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	var g *graph.CSR
@@ -46,7 +49,7 @@ func main() {
 	fmt.Printf("instance: sets=%d elements=%d M=%d\n",
 		numSets, g.NumVertices()-numSets, g.NumEdges())
 
-	opt := setcover.Options{Epsilon: *eps}
+	opt := setcover.Options{Epsilon: *eps, Recorder: of.Recorder()}
 	start := time.Now()
 	var res setcover.Result
 	switch *impl {
@@ -68,4 +71,9 @@ func main() {
 	}
 	fmt.Printf("impl=%s time=%v cover_size=%d rounds=%d sets_inspected=%d (cover valid)\n",
 		*impl, elapsed, res.CoverSize, res.Rounds, res.SetsInspected)
+
+	if err := of.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

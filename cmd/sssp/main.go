@@ -5,6 +5,7 @@
 //
 //	sssp [-algo wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial]
 //	     [-src V] [-delta D] [graph flags]
+//	     [-trace out.json] [-stats] [-pprof :6060]
 //
 // Unweighted inputs get the paper's wBFS weighting ([1, log n)) unless
 // -weights overrides it.
@@ -27,6 +28,7 @@ func main() {
 	src := flag.Uint("src", 0, "source vertex")
 	delta := flag.Int64("delta", 32768, "delta parameter (delta-stepping variants)")
 	gf := cli.Register(flag.CommandLine)
+	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	g, err := gf.Build()
@@ -39,16 +41,18 @@ func main() {
 	}
 	fmt.Println(cli.Describe(g))
 
+	rec := of.Recorder()
+	opt := sssp.Options{Recorder: rec}
 	start := time.Now()
 	var res sssp.Result
 	s := graph.Vertex(*src)
 	switch *algo {
 	case "wbfs":
-		res = sssp.WBFS(g, s, sssp.Options{})
+		res = sssp.WBFS(g, s, opt)
 	case "delta":
-		res = sssp.DeltaStepping(g, s, *delta, sssp.Options{})
+		res = sssp.DeltaStepping(g, s, *delta, opt)
 	case "delta-lh":
-		res = sssp.DeltaSteppingLH(g, s, *delta, sssp.Options{})
+		res = sssp.DeltaSteppingLH(g, s, *delta, opt)
 	case "gap-bins":
 		res = sssp.DeltaSteppingBins(g, s, *delta)
 	case "bellman-ford":
@@ -78,4 +82,9 @@ func main() {
 		*algo, s, elapsed, res.Rounds, res.Relaxations)
 	fmt.Printf("reached=%d/%d max_dist=%d avg_dist=%.1f\n",
 		reached, len(res.Dist), maxDist, float64(sum)/float64(max(reached, 1)))
+
+	if err := of.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// Buckets is passed through to the bucket structure (open-range
 	// size, semisort ablation).
 	Buckets bucket.Options
+	// Recorder, when non-nil, receives one span and one RoundMetrics
+	// per peeling round plus the bucket structure's counters. Nil
+	// disables telemetry with only nil-check overhead.
+	Recorder *obs.Recorder
 }
 
 // Result carries the coreness values along with the measurements the
@@ -78,16 +83,23 @@ func Coreness(g graph.Graph, opt Options) Result {
 	parallel.For(n, parallel.DefaultGrain, func(v int) {
 		d[v] = uint32(g.OutDegree(graph.Vertex(v)))
 	})
-	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, opt.Buckets)
+	rec := opt.Recorder
+	bopt := opt.Buckets
+	if bopt.Recorder == nil {
+		bopt.Recorder = rec
+	}
+	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, bopt)
 
 	var scratch ligra.CountScratch
 	finished := 0
 	var edges int64
+	var prevStats bucket.Stats
 	for finished < n {
 		k, ids := b.NextBucket()
 		if k == bucket.Nil {
 			break
 		}
+		sp := rec.StartSpan("kcore.round").Arg("bucket", k).Arg("frontier", len(ids))
 		res.Rounds++
 		finished += len(ids)
 		res.VerticesScanned += int64(len(ids))
@@ -96,7 +108,8 @@ func Coreness(g graph.Graph, opt Options) Result {
 		// removal decrements neighbors' induced degrees. edgeMapSum
 		// counts removed edges per still-live neighbor (line 16).
 		frontier := ligra.FromSparse(n, ids)
-		edges += frontier2EdgeCount(g, ids)
+		roundEdges := frontier2EdgeCount(g, ids)
+		edges += roundEdges
 		moved := ligra.EdgeMapCount(g, frontier,
 			func(v graph.Vertex) bool { return d[v] > k }, &scratch)
 		// Update(v, edgesRemoved) of Algorithm 1: lower D[v], clamping
@@ -115,6 +128,19 @@ func Coreness(g graph.Graph, opt Options) Result {
 		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
 			return rebucket.IDs[j], rebucket.Vals[j]
 		})
+		dur := sp.End()
+		if rec != nil {
+			cur := b.Stats()
+			delta := cur.Sub(prevStats)
+			prevStats = cur
+			rec.RecordRound(obs.RoundMetrics{
+				Algo: "kcore", Round: res.Rounds, Bucket: k,
+				FrontierSize: len(ids), EdgesTraversed: roundEdges,
+				Dense:     false, // EdgeMapCount is push-only
+				Extracted: delta.Extracted, Moved: delta.Moved,
+				Skipped: delta.Skipped, Duration: dur,
+			})
+		}
 	}
 	res.BucketStats = b.Stats()
 	res.EdgesTraversed = edges

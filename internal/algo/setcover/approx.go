@@ -4,6 +4,7 @@ import (
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -42,16 +43,24 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 		}
 	})
 
+	rec := opt.Recorder
+	bopt := opt.Buckets
+	if bopt.Recorder == nil {
+		bopt.Recorder = rec
+	}
 	b := bucket.New(numSets, func(s uint32) bucket.ID { return bz.bucketOf(d[s]) },
-		bucket.Decreasing, opt.Buckets)
+		bucket.Decreasing, bopt)
 
 	res := Result{InCover: make([]bool, numSets)}
 	elmUncovered := func(_, e graph.Vertex) bool { return covered[e] == 0 }
+	emOpts := ligra.EdgeMapOptions{NoDense: true, NoOutput: true, Recorder: rec}
+	var prevStats bucket.Stats
 	for {
 		bkt, sets := b.NextBucket()
 		if bkt == bucket.Nil {
 			break
 		}
+		sp := rec.StartSpan("setcover.round").Arg("bucket", bkt).Arg("sets", len(sets))
 		res.Rounds++
 		res.SetsInspected += int64(len(sets))
 		frontier := ligra.FromSparse(n, sets)
@@ -81,7 +90,7 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 			func(s, e graph.Vertex, w graph.Weight) bool {
 				parallel.WriteMinUint32(&el[e], uint32(s))
 				return false
-			}, ligra.EdgeMapOptions{NoDense: true, NoOutput: true})
+			}, emOpts)
 		activeCts := ligra.EdgeMapFilterCount(work, active,
 			func(s, e graph.Vertex) bool { return el[e] == uint32(s) })
 		winThreshold := ceilPow(eps, int64(bkt)-1)
@@ -110,7 +119,7 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 					}
 				}
 				return false
-			}, ligra.EdgeMapOptions{NoDense: true, NoOutput: true})
+			}, emOpts)
 
 		rebucket := ligra.TagMap(frontier, func(s graph.Vertex) (bucket.Dest, bool) {
 			if d[s] == inCover {
@@ -136,6 +145,19 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
 			return rebucket.IDs[j], rebucket.Vals[j]
 		})
+		dur := sp.End()
+		if rec != nil {
+			cur := b.Stats()
+			delta := cur.Sub(prevStats)
+			prevStats = cur
+			rec.RecordRound(obs.RoundMetrics{
+				Algo: "setcover", Round: res.Rounds, Bucket: bkt,
+				FrontierSize: len(sets),
+				Dense:        false, // the MaNIS edge maps force NoDense
+				Extracted:    delta.Extracted, Moved: delta.Moved,
+				Skipped: delta.Skipped, Duration: dur,
+			})
+		}
 	}
 	res.CoverSize = len(CoverList(res.InCover))
 	res.BucketStats = b.Stats()

@@ -29,6 +29,7 @@ import (
 
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -46,6 +47,10 @@ type Options struct {
 	Epsilon float64
 	// Buckets is passed through to the bucket structure (Approx only).
 	Buckets bucket.Options
+	// Recorder, when non-nil, receives one span and one RoundMetrics
+	// per MaNIS round plus bucket and edgeMap counters (Approx only).
+	// Nil disables telemetry with only nil-check overhead.
+	Recorder *obs.Recorder
 }
 
 func (o Options) epsilon() float64 {

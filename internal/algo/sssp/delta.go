@@ -4,6 +4,7 @@ import (
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -11,6 +12,10 @@ import (
 type Options struct {
 	// Buckets is passed through to the bucket structure.
 	Buckets bucket.Options
+	// Recorder, when non-nil, receives one span and one RoundMetrics
+	// per ∆-stepping round plus the bucket structure's counters. Nil
+	// disables telemetry with only nil-check overhead.
+	Recorder *obs.Recorder
 }
 
 // DeltaStepping implements Algorithm 2 of the paper: bucketed
@@ -41,20 +46,29 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 	}
 	// GetBucketNum of Algorithm 2 (line 3).
 	d := func(i uint32) bucket.ID { return bktOf(sp[i] &^ flag) }
-	b := bucket.New(n, d, bucket.Increasing, opt.Buckets)
+	rec := opt.Recorder
+	bopt := opt.Buckets
+	if bopt.Recorder == nil {
+		bopt.Recorder = rec
+	}
+	b := bucket.New(n, d, bucket.Increasing, bopt)
 
 	res := Result{}
 	always := func(graph.Vertex) bool { return true }
+	var prevStats bucket.Stats
+	var prevRelax int64
 	for {
 		id, ids := b.NextBucket()
 		if id == bucket.Nil {
 			break
 		}
+		sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(ids))
 		res.Rounds++
 		frontier := ligra.FromSparse(n, ids)
-		res.EdgesTraversed += parallel.Sum(len(ids), 0, func(i int) int64 {
+		roundEdges := parallel.Sum(len(ids), 0, func(i int) int64 {
 			return int64(g.OutDegree(ids[i]))
 		})
+		res.EdgesTraversed += roundEdges
 		// Relax the out-edges of the bucket (Algorithm 2, line 18). The
 		// tagged output carries each improved vertex's distance at the
 		// start of the round, captured by the winning relaxer.
@@ -85,6 +99,20 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
 			return rebucket.IDs[j], rebucket.Vals[j]
 		})
+		dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
+		if rec != nil {
+			cur := b.Stats()
+			sd := cur.Sub(prevStats)
+			prevStats = cur
+			prevRelax = res.Relaxations
+			rec.RecordRound(obs.RoundMetrics{
+				Algo: "sssp", Round: res.Rounds, Bucket: id,
+				FrontierSize: len(ids), EdgesTraversed: roundEdges,
+				Dense:     false, // EdgeMapTagged is push-only
+				Extracted: sd.Extracted, Moved: sd.Moved,
+				Skipped: sd.Skipped, Duration: dur,
+			})
+		}
 	}
 	res.BucketStats = b.Stats()
 	res.Dist = finalize(sp)

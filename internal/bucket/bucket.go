@@ -25,7 +25,10 @@
 // their bucket is compacted.
 package bucket
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // ID identifies a logical bucket. Buckets are traversed monotonically
 // in the structure's Order.
@@ -93,6 +96,11 @@ type Structure interface {
 // definition: throughput counts identifiers extracted by NextBucket
 // plus identifiers physically moved by UpdateBuckets (moves to Nil are
 // excluded — they are the skipped None destinations).
+//
+// Both implementations maintain these counters with atomic operations
+// and snapshot them with atomic loads in Stats(), so Stats may be read
+// concurrently with structure operations (e.g. by a telemetry poller)
+// without data races.
 type Stats struct {
 	// Extracted is the total number of identifiers returned by
 	// NextBucket.
@@ -111,3 +119,28 @@ type Stats struct {
 
 // Throughput returns Extracted + Moved, the §3.4 numerator.
 func (s Stats) Throughput() int64 { return s.Extracted + s.Moved }
+
+// load snapshots the live counter struct with atomic reads, pairing
+// with the atomic adds the implementations perform.
+func (s *Stats) load() Stats {
+	return Stats{
+		Extracted:       atomic.LoadInt64(&s.Extracted),
+		Moved:           atomic.LoadInt64(&s.Moved),
+		Skipped:         atomic.LoadInt64(&s.Skipped),
+		BucketsReturned: atomic.LoadInt64(&s.BucketsReturned),
+		RangeAdvances:   atomic.LoadInt64(&s.RangeAdvances),
+	}
+}
+
+// Sub returns the component-wise difference s - prev: the traffic that
+// happened between two snapshots. Per-round observers use it to turn
+// cumulative counters into per-round deltas.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Extracted:       s.Extracted - prev.Extracted,
+		Moved:           s.Moved - prev.Moved,
+		Skipped:         s.Skipped - prev.Skipped,
+		BucketsReturned: s.BucketsReturned - prev.BucketsReturned,
+		RangeAdvances:   s.RangeAdvances - prev.RangeAdvances,
+	}
+}

@@ -1,6 +1,9 @@
 package bucket
 
 import (
+	"sync/atomic"
+
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 	"julienne/internal/semisort"
 )
@@ -24,6 +27,11 @@ type Options struct {
 	// semisort-based algorithm of §3.2 instead of the block-histogram
 	// strategy of §3.3. Kept for the ablation benchmarks.
 	Semisort bool
+	// Recorder, when non-nil, receives bucket-traffic counters
+	// (obs.CtrBucket*) as the structure operates. Construction-time
+	// bulk inserts are excluded, mirroring Stats. Nil disables
+	// reporting at the cost of a nil check per operation.
+	Recorder *obs.Recorder
 }
 
 // Par is the parallel bucketing implementation (§3.2 with the §3.3
@@ -45,6 +53,7 @@ type Par struct {
 	rangeHi ID         // highest logical id in the open range
 	done    bool
 	stats   Stats
+	rec     *obs.Recorder
 
 	// scratch reused across UpdateBuckets calls.
 	counts []uint32
@@ -109,7 +118,9 @@ func New(n int, d func(uint32) ID, order Order, opt Options) *Par {
 	})
 	// The bulk insert is bookkeeping, not algorithmic movement: reset
 	// the counters so Stats reflects only post-construction traffic.
+	// The recorder is attached afterwards for the same reason.
 	b.stats = Stats{}
+	b.rec = opt.Recorder
 	return b
 }
 
@@ -235,8 +246,10 @@ func (b *Par) NextBucket() (ID, []uint32) {
 				b.cur++
 				continue
 			}
-			b.stats.Extracted += int64(len(live))
-			b.stats.BucketsReturned++
+			atomic.AddInt64(&b.stats.Extracted, int64(len(live)))
+			atomic.AddInt64(&b.stats.BucketsReturned, 1)
+			b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
+			b.rec.Inc(obs.CtrBucketReturned)
 			return cur, live
 		}
 		// Open range exhausted: redistribute overflow, if any.
@@ -292,7 +305,8 @@ func (b *Par) NextBucket() (ID, []uint32) {
 		}
 		prevLo, prevHi := b.rangeLo, b.rangeHi
 		b.setRange(anchor)
-		b.stats.RangeAdvances++
+		atomic.AddInt64(&b.stats.RangeAdvances, 1)
+		b.rec.Inc(obs.CtrBucketRangeAdvances)
 		// Reinsert live overflow identifiers under the new range. An
 		// identifier is stale if its current logical bucket falls in
 		// (or behind) the previous range — it was moved or extracted.
@@ -390,8 +404,10 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 			b.bkts[s][oldLens[s]+int(off-starts[s])] = id
 		}
 	})
-	b.stats.Moved += int64(total)
-	b.stats.Skipped += skipped
+	atomic.AddInt64(&b.stats.Moved, int64(total))
+	atomic.AddInt64(&b.stats.Skipped, skipped)
+	b.rec.Add(obs.CtrBucketMoved, int64(total))
+	b.rec.Add(obs.CtrBucketSkipped, skipped)
 }
 
 // updateSemisort is the §3.2 update algorithm: build (destination,
@@ -428,11 +444,14 @@ func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 			dst[j-lo] = sorted[j].Value
 		}
 	})
-	b.stats.Moved += int64(len(sorted))
+	atomic.AddInt64(&b.stats.Moved, int64(len(sorted)))
+	b.rec.Add(obs.CtrBucketMoved, int64(len(sorted)))
+	b.rec.Add(obs.CtrBucketSkipped, int64(k-len(pairs)))
 }
 
-// Stats implements Structure.
-func (b *Par) Stats() Stats { return b.stats }
+// Stats implements Structure. The snapshot uses atomic loads so it is
+// safe to call concurrently with NextBucket/UpdateBuckets.
+func (b *Par) Stats() Stats { return b.stats.load() }
 
 // CurrentRange reports the open range and traversal position; the tests
 // use it to assert the §3.3 overflow behaviour.

@@ -1,5 +1,11 @@
 package bucket
 
+import (
+	"sync/atomic"
+
+	"julienne/internal/obs"
+)
+
 // Seq is the sequential bucketing implementation of §3.2: buckets are
 // represented exactly (one dynamic array per logical bucket id), updates
 // are lazy insertions, and NextBucket compacts the current bucket by
@@ -15,6 +21,7 @@ type Seq struct {
 	bkts  [][]uint32 // bkts[b] holds (possibly stale) copies for bucket b
 	cur   int64      // logical id of the current bucket (may be -1 done)
 	stats Stats
+	rec   *obs.Recorder
 }
 
 var _ Structure = (*Seq)(nil)
@@ -81,8 +88,10 @@ func (s *Seq) NextBucket() (ID, []uint32) {
 			s.cur += step
 			continue
 		}
-		s.stats.Extracted += int64(len(live))
-		s.stats.BucketsReturned++
+		atomic.AddInt64(&s.stats.Extracted, int64(len(live)))
+		atomic.AddInt64(&s.stats.BucketsReturned, 1)
+		s.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
+		s.rec.Inc(obs.CtrBucketReturned)
 		return cur, live
 	}
 	return Nil, nil
@@ -111,10 +120,11 @@ func (s *Seq) GetBucket(prev, next ID) Dest {
 // its destination bucket and opening new buckets as needed (§3.2:
 // "opening new buckets if next is outside the current range").
 func (s *Seq) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
+	var moved, skipped int64
 	for j := 0; j < k; j++ {
 		id, dest := f(j)
 		if dest == None {
-			s.stats.Skipped++
+			skipped++
 			continue
 		}
 		b := int(dest)
@@ -122,9 +132,22 @@ func (s *Seq) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 			s.bkts = append(s.bkts, nil)
 		}
 		s.bkts[b] = append(s.bkts[b], id)
-		s.stats.Moved++
+		moved++
 	}
+	atomic.AddInt64(&s.stats.Moved, moved)
+	atomic.AddInt64(&s.stats.Skipped, skipped)
+	s.rec.Add(obs.CtrBucketMoved, moved)
+	s.rec.Add(obs.CtrBucketSkipped, skipped)
 }
 
-// Stats implements Structure.
-func (s *Seq) Stats() Stats { return s.stats }
+// Stats implements Structure. The snapshot uses atomic loads so it is
+// safe to call concurrently with NextBucket/UpdateBuckets.
+func (s *Seq) Stats() Stats { return s.stats.load() }
+
+// Observe attaches a telemetry recorder receiving obs.CtrBucket*
+// counters (NewSeq takes no Options, so the recorder is attached
+// separately). It returns s for chaining.
+func (s *Seq) Observe(rec *obs.Recorder) *Seq {
+	s.rec = rec
+	return s
+}

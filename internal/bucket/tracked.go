@@ -20,6 +20,9 @@ type Tracked struct {
 }
 
 // NewTracked mirrors New but hides GetBucket behind the internal map.
+// A telemetry recorder supplied via opt.Recorder is inherited by the
+// wrapped structure, so Tracked reports the same obs.CtrBucket*
+// counters as Par.
 func NewTracked(n int, d func(uint32) ID, order Order, opt Options) *Tracked {
 	t := &Tracked{prev: make([]ID, n)}
 	parallel.For(n, parallel.DefaultGrain, func(i int) {

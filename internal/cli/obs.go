@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+
+	"julienne/internal/harness"
+	"julienne/internal/obs"
+)
+
+// ObsFlags selects the runtime-telemetry outputs shared by the cmd/
+// binaries: a Chrome trace file, a counter/round summary, and a pprof
+// endpoint.
+type ObsFlags struct {
+	Trace *string
+	Stats *bool
+	Pprof *string
+
+	rec *obs.Recorder
+}
+
+// RegisterObs installs the telemetry flags on fs.
+func RegisterObs(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		Trace: fs.String("trace", "", "write Chrome trace-event JSON to this file (chrome://tracing, Perfetto)"),
+		Stats: fs.Bool("stats", false, "print telemetry counters and a per-round summary"),
+		Pprof: fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)"),
+	}
+}
+
+// Recorder returns the recorder the flags call for — nil when telemetry
+// is off, so algorithms run uninstrumented. It also starts the pprof
+// server if -pprof was given.
+func (of *ObsFlags) Recorder() *obs.Recorder {
+	if *of.Pprof != "" {
+		addr := *of.Pprof
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server on %s: %v\n", addr, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on %s (go tool pprof http://localhost%s/debug/pprof/profile)\n",
+			addr, addr)
+	}
+	if *of.Trace == "" && !*of.Stats {
+		return nil
+	}
+	of.rec = obs.NewRecorder()
+	return of.rec
+}
+
+// maxRoundRows caps the per-round table so -stats stays readable on
+// long peelings; the trace file always contains every round.
+const maxRoundRows = 64
+
+// Finish writes the trace file and prints the -stats report. Call it
+// once after the measured work completes.
+func (of *ObsFlags) Finish(w io.Writer) error {
+	if of.rec == nil {
+		return nil
+	}
+	if *of.Trace != "" {
+		f, err := os.Create(*of.Trace)
+		if err != nil {
+			return err
+		}
+		if err := of.rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: %d events -> %s\n", len(of.rec.Events()), *of.Trace)
+	}
+	if *of.Stats {
+		of.printStats(w)
+	}
+	return nil
+}
+
+func (of *ObsFlags) printStats(w io.Writer) {
+	fmt.Fprintln(w, "\ntelemetry counters:")
+	t := harness.NewTable("counter", "value")
+	for _, name := range of.rec.CounterNames() {
+		t.AddRow(name, of.rec.Counter(name))
+	}
+	t.Render(w)
+
+	rounds := of.rec.Rounds()
+	if len(rounds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nper-round metrics (%d rounds):\n", len(rounds))
+	t = harness.NewTable("round", "algo", "bucket", "frontier", "edges",
+		"extracted", "moved", "skipped", "time")
+	step := 1
+	if len(rounds) > maxRoundRows {
+		step = (len(rounds) + maxRoundRows - 1) / maxRoundRows
+		fmt.Fprintf(w, "(showing every %d-th round; the trace file has all of them)\n", step)
+	}
+	for i := 0; i < len(rounds); i += step {
+		m := rounds[i]
+		t.AddRow(m.Round, m.Algo, m.Bucket, m.FrontierSize, m.EdgesTraversed,
+			m.Extracted, m.Moved, m.Skipped, m.Duration)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"julienne/internal/obs"
+)
+
+func TestObsFlagsDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	of := RegisterObs(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if of.Recorder() != nil {
+		t.Fatal("no flags set should mean nil recorder")
+	}
+	var buf bytes.Buffer
+	if err := of.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Finish with telemetry off wrote %q", buf.String())
+	}
+}
+
+func TestObsFlagsTraceAndStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	of := RegisterObs(fs)
+	if err := fs.Parse([]string{"-trace", path, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := of.Recorder()
+	if rec == nil {
+		t.Fatal("trace flag should enable the recorder")
+	}
+	rec.Add(obs.CtrBucketMoved, 7)
+	rec.Phase("work", func() {})
+	rec.RecordRound(obs.RoundMetrics{Algo: "kcore", Round: 1, FrontierSize: 3})
+
+	var buf bytes.Buffer
+	if err := of.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"telemetry counters", obs.CtrBucketMoved, "per-round metrics", "kcore"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	// The "work" span, the round counter event, and counters.final.
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("trace events=%d, want 3", len(tf.TraceEvents))
+	}
+}

@@ -52,7 +52,7 @@ func (s *Suite) ablationUpdateStrategy() {
 			microbench.Run(microbench.Config{Identifiers: n, Buckets: b, Seed: s.seed(),
 				Options: bucket.Options{Semisort: true}})
 		})
-		t.AddRow(n, b, hist, semi, harness.Speedup(semi, hist))
+		t.AddRow(n, b, hist, semi, harness.Speedup(semi.Median, hist.Median))
 	}
 	t.Render(s.W)
 }
@@ -80,7 +80,7 @@ func (s *Suite) ablationPrevTracking() {
 	par := harness.TimeMedian(s.reps(), func() { drivePar(n, seed) })
 	trk := harness.TimeMedian(s.reps(), func() { driveTracked(n, seed) })
 	t := harness.NewTable("identifiers", "user-prev (Par)", "internal map (Tracked)", "tracked/par")
-	t.AddRow(n, par, trk, harness.Speedup(trk, par))
+	t.AddRow(n, par, trk, harness.Speedup(trk.Median, par.Median))
 	t.Render(s.W)
 }
 
@@ -174,7 +174,7 @@ func (s *Suite) ablationLightHeavy() {
 		lh := harness.TimeMedian(s.reps(), func() {
 			sssp.DeltaSteppingLH(w, 0, delta, sssp.Options{})
 		})
-		t.AddRow(ng.Name, plain, lh, harness.Speedup(lh, plain))
+		t.AddRow(ng.Name, plain, lh, harness.Speedup(lh.Median, plain.Median))
 	}
 	t.Render(s.W)
 }

@@ -22,6 +22,7 @@ import (
 
 	"julienne/internal/gen"
 	"julienne/internal/graph"
+	"julienne/internal/obs"
 )
 
 // Scale selects input sizes. Tests use Small; the shipped numbers use
@@ -60,6 +61,18 @@ type Suite struct {
 	Reps int
 	// Seed makes all workloads reproducible.
 	Seed uint64
+	// Rec, when non-nil, receives one trace span per experiment so a
+	// whole-suite run can be inspected in a trace viewer. The timed
+	// algorithm executions themselves stay uninstrumented — a recorder
+	// inside the measured region would perturb the numbers.
+	Rec *obs.Recorder
+}
+
+// run1 executes one experiment under a trace span.
+func (s *Suite) run1(name string, f func()) {
+	sp := s.Rec.StartSpan("experiments." + name)
+	f()
+	sp.End()
 }
 
 func (s *Suite) reps() int {
@@ -144,16 +157,16 @@ func (s *Suite) section(title string) {
 
 // RunAll regenerates every artifact in paper order.
 func (s *Suite) RunAll() {
-	s.Table2()
-	s.Figure1()
-	s.Table1()
-	s.Table3()
-	s.Figure2()
-	s.Figure3()
-	s.Figure4()
-	s.Figure5()
-	s.Ablations()
-	s.Extensions()
+	s.run1("table2", s.Table2)
+	s.run1("fig1", s.Figure1)
+	s.run1("table1", s.Table1)
+	s.run1("table3", s.Table3)
+	s.run1("fig2", s.Figure2)
+	s.run1("fig3", s.Figure3)
+	s.run1("fig4", s.Figure4)
+	s.run1("fig5", s.Figure5)
+	s.run1("ablations", s.Ablations)
+	s.run1("extensions", s.Extensions)
 }
 
 // Run dispatches a single experiment by id ("table1", "fig3", ...).
@@ -162,25 +175,25 @@ func (s *Suite) Run(id string) error {
 	case "all":
 		s.RunAll()
 	case "table1":
-		s.Table1()
+		s.run1(id, s.Table1)
 	case "table2":
-		s.Table2()
+		s.run1(id, s.Table2)
 	case "table3":
-		s.Table3()
+		s.run1(id, s.Table3)
 	case "fig1":
-		s.Figure1()
+		s.run1(id, s.Figure1)
 	case "fig2":
-		s.Figure2()
+		s.run1(id, s.Figure2)
 	case "fig3":
-		s.Figure3()
+		s.run1(id, s.Figure3)
 	case "fig4":
-		s.Figure4()
+		s.run1(id, s.Figure4)
 	case "fig5":
-		s.Figure5()
+		s.run1(id, s.Figure5)
 	case "ablations":
-		s.Ablations()
+		s.run1(id, s.Ablations)
 	case "extensions":
-		s.Extensions()
+		s.run1(id, s.Extensions)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -81,12 +81,12 @@ func (s *Suite) sweepFigure(title string, impls []string,
 	run func(impl string, g *graph.CSR) func()) {
 
 	s.section(title)
-	t := harness.NewTable("graph", "impl", "threads", "time")
+	t := harness.NewTable("graph", "impl", "threads", "time", "spread")
 	for _, ng := range s.scalingGraphs() {
 		for _, impl := range impls {
 			f := run(impl, ng.G)
 			for _, pt := range harness.ThreadSweep(s.reps(), f) {
-				t.AddRow(ng.Name, impl, pt.Threads, pt.Time)
+				t.AddRow(ng.Name, impl, pt.Threads, pt.Median, pt.Spread())
 			}
 		}
 	}
@@ -147,14 +147,14 @@ func (s *Suite) Figure4() {
 // implementation.
 func (s *Suite) Figure5() {
 	s.section("Figure 5: set cover running time vs. thread count (e=0.01)")
-	t := harness.NewTable("instance", "impl", "threads", "time")
+	t := harness.NewTable("instance", "impl", "threads", "time", "spread")
 	inst := s.coverInstance()
 	for impl, f := range map[string]func(){
 		"julienne": func() { setcover.Approx(inst.Graph, inst.Sets, setcover.Options{}) },
 		"pbbs":     func() { setcover.ApproxPBBS(inst.Graph, inst.Sets, setcover.Options{}) },
 	} {
 		for _, pt := range harness.ThreadSweep(s.reps(), f) {
-			t.AddRow("setcover", impl, pt.Threads, pt.Time)
+			t.AddRow("setcover", impl, pt.Threads, pt.Median, pt.Spread())
 		}
 	}
 	t.Render(s.W)

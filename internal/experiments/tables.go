@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"julienne/internal/algo/bfs"
 	"julienne/internal/algo/kcore"
@@ -83,13 +82,13 @@ func (s *Suite) Table1() {
 // row times a single implementation at 1 thread and at full threads.
 type timing struct {
 	name   string
-	t1, tp time.Duration
+	t1, tp harness.Sample
 }
 
-func (s *Suite) timeBoth(f func()) (time.Duration, time.Duration) {
+func (s *Suite) timeBoth(f func()) (harness.Sample, harness.Sample) {
 	pts := harness.ThreadSweep(s.reps(), f)
-	t1 := pts[0].Time
-	tp := pts[len(pts)-1].Time
+	t1 := pts[0].Sample
+	tp := pts[len(pts)-1].Sample
 	return t1, tp
 }
 
@@ -102,7 +101,7 @@ func (s *Suite) Table3() {
 	s.section("Table 3: running times per application and implementation")
 	for _, ng := range s.Graphs() {
 		fmt.Fprintf(s.W, "graph %s (n=%d, m=%d)\n", ng.Name, ng.G.NumVertices(), ng.G.NumEdges())
-		t := harness.NewTable("application", "impl", "T(1)", "T(P)", "speedup")
+		t := harness.NewTable("application", "impl", "T(1)", "T(P)", "spread(P)", "speedup")
 
 		g := ng.G
 		var rows []timing
@@ -114,7 +113,8 @@ func (s *Suite) Table3() {
 		add("k-core (Ligra)", func() { kcore.CorenessLigra(g) })
 		add("k-core (BZ, seq)", func() { kcore.CorenessBZ(g) })
 		for _, r := range rows {
-			t.AddRow("k-core", r.name, r.t1, r.tp, harness.Speedup(r.t1, r.tp))
+			t.AddRow("k-core", r.name, r.t1, r.tp, r.tp.Spread(),
+				harness.Speedup(r.t1.Median, r.tp.Median))
 		}
 		rows = rows[:0]
 
@@ -125,7 +125,8 @@ func (s *Suite) Table3() {
 		add("wBFS (DIMACS seq)", func() { sssp.DijkstraHeap(wlog, 0) })
 		add("wBFS (Dial seq)", func() { sssp.Dial(wlog, 0) })
 		for _, r := range rows {
-			t.AddRow("wBFS [1,log n)", r.name, r.t1, r.tp, harness.Speedup(r.t1, r.tp))
+			t.AddRow("wBFS [1,log n)", r.name, r.t1, r.tp, r.tp.Spread(),
+				harness.Speedup(r.t1.Median, r.tp.Median))
 		}
 		rows = rows[:0]
 
@@ -136,7 +137,8 @@ func (s *Suite) Table3() {
 		add("d-step (GAP bins)", func() { sssp.DeltaSteppingBins(wheavy, 0, delta) })
 		add("d-step (DIMACS seq)", func() { sssp.DijkstraHeap(wheavy, 0) })
 		for _, r := range rows {
-			t.AddRow("d-step [1,1e5)", r.name, r.t1, r.tp, harness.Speedup(r.t1, r.tp))
+			t.AddRow("d-step [1,1e5)", r.name, r.t1, r.tp, r.tp.Spread(),
+				harness.Speedup(r.t1.Median, r.tp.Median))
 		}
 		t.Render(s.W)
 		fmt.Fprintln(s.W)
@@ -145,16 +147,19 @@ func (s *Suite) Table3() {
 	inst := s.coverInstance()
 	fmt.Fprintf(s.W, "set cover instance (sets=%d, elements=%d, M=%d)\n",
 		inst.Sets, inst.Elements, inst.Graph.NumEdges())
-	t := harness.NewTable("application", "impl", "T(1)", "T(P)", "speedup", "|cover|")
+	t := harness.NewTable("application", "impl", "T(1)", "T(P)", "spread(P)", "speedup", "|cover|")
 	a1, ap := s.timeBoth(func() { setcover.Approx(inst.Graph, inst.Sets, setcover.Options{}) })
 	sizeA := setcover.Approx(inst.Graph, inst.Sets, setcover.Options{}).CoverSize
-	t.AddRow("set cover (e=0.01)", "Julienne", a1, ap, harness.Speedup(a1, ap), sizeA)
+	t.AddRow("set cover (e=0.01)", "Julienne", a1, ap, ap.Spread(),
+		harness.Speedup(a1.Median, ap.Median), sizeA)
 	p1, pp := s.timeBoth(func() { setcover.ApproxPBBS(inst.Graph, inst.Sets, setcover.Options{}) })
 	sizeP := setcover.ApproxPBBS(inst.Graph, inst.Sets, setcover.Options{}).CoverSize
-	t.AddRow("set cover (e=0.01)", "PBBS", p1, pp, harness.Speedup(p1, pp), sizeP)
+	t.AddRow("set cover (e=0.01)", "PBBS", p1, pp, pp.Spread(),
+		harness.Speedup(p1.Median, pp.Median), sizeP)
 	g1, gp := s.timeBoth(func() { setcover.Greedy(inst.Graph, inst.Sets) })
 	sizeG := setcover.Greedy(inst.Graph, inst.Sets).CoverSize
-	t.AddRow("set cover (exact)", "greedy seq", g1, gp, harness.Speedup(g1, gp), sizeG)
+	t.AddRow("set cover (exact)", "greedy seq", g1, gp, gp.Spread(),
+		harness.Speedup(g1.Median, gp.Median), sizeG)
 	t.Render(s.W)
 }
 

@@ -16,9 +16,21 @@ import (
 	"julienne/internal/parallel"
 )
 
+// Sample summarizes repeated timings of one workload: the median the
+// tables report plus the min/max spread, so wall-clock variance can be
+// sanity-checked against trace-derived numbers.
+type Sample struct {
+	Median, Min, Max time.Duration
+}
+
+// Spread renders the min..max interval in milliseconds.
+func (s Sample) Spread() string {
+	return Ms(s.Min) + ".." + Ms(s.Max)
+}
+
 // TimeMedian runs f `reps` times and returns the median wall-clock
-// duration. reps < 1 is treated as 1.
-func TimeMedian(reps int, f func()) time.Duration {
+// duration together with the sample spread. reps < 1 is treated as 1.
+func TimeMedian(reps int, f func()) Sample {
 	if reps < 1 {
 		reps = 1
 	}
@@ -29,7 +41,11 @@ func TimeMedian(reps int, f func()) time.Duration {
 		times[i] = time.Since(start)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[len(times)/2]
+	return Sample{
+		Median: times[len(times)/2],
+		Min:    times[0],
+		Max:    times[len(times)-1],
+	}
 }
 
 // ThreadCounts returns the GOMAXPROCS values the sweeps use: powers of
@@ -46,10 +62,10 @@ func ThreadCounts() []int {
 	return ps
 }
 
-// SweepPoint is one (threads, time) sample of a scaling curve.
+// SweepPoint is one (threads, timing) sample of a scaling curve.
 type SweepPoint struct {
 	Threads int
-	Time    time.Duration
+	Sample
 }
 
 // ThreadSweep times f at every thread count, restoring GOMAXPROCS
@@ -60,7 +76,7 @@ func ThreadSweep(reps int, f func()) []SweepPoint {
 	var pts []SweepPoint
 	for _, p := range ThreadCounts() {
 		parallel.SetProcs(p)
-		pts = append(pts, SweepPoint{Threads: p, Time: TimeMedian(reps, f)})
+		pts = append(pts, SweepPoint{Threads: p, Sample: TimeMedian(reps, f)})
 	}
 	return pts
 }
@@ -84,6 +100,8 @@ func (t *Table) AddRow(cells ...any) {
 		switch v := c.(type) {
 		case time.Duration:
 			row[i] = Ms(v)
+		case Sample:
+			row[i] = Ms(v.Median)
 		case float64:
 			row[i] = fmt.Sprintf("%.3g", v)
 		default:

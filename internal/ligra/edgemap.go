@@ -2,6 +2,7 @@ package ligra
 
 import (
 	"julienne/internal/graph"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -19,6 +20,11 @@ type EdgeMapOptions struct {
 	// NoOutput skips building the output subset; use when EdgeMap is
 	// called purely for its side effects (set cover's VisitElms).
 	NoOutput bool
+	// Recorder, when non-nil, receives the direction decision
+	// (obs.CtrEdgeMapSparse/Dense, obs.GaugeEdgeMapLastDense) and the
+	// frontier's out-degree sum (obs.CtrEdgeMapEdges) per call. The
+	// disabled path costs one nil check.
+	Recorder *obs.Recorder
 }
 
 // EdgeMap applies F to edges (u, v) with u ∈ U and C(v) true, returning
@@ -40,11 +46,36 @@ func EdgeMap(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
 	}
 	if !opt.NoDense {
 		threshold := g.NumEdges() / denseThresholdDivisor
-		if int64(u.Size())+u.outDegreeSum(g) > threshold {
+		degSum := u.outDegreeSum(g)
+		if int64(u.Size())+degSum > threshold {
+			recordDirection(opt.Recorder, true, degSum)
 			return edgeMapDense(g, u, c, f, opt)
 		}
+		recordDirection(opt.Recorder, false, degSum)
+		return edgeMapSparse(g, u, c, f, opt)
+	}
+	if opt.Recorder != nil {
+		recordDirection(opt.Recorder, false, u.outDegreeSum(g))
 	}
 	return edgeMapSparse(g, u, c, f, opt)
+}
+
+// recordDirection reports one direction decision to the recorder. The
+// edges figure is the frontier's out-degree sum — the exact sparse
+// work bound, and the quantity Beamer's heuristic thresholds on (the
+// dense traversal may scan fewer edges thanks to early exit).
+func recordDirection(rec *obs.Recorder, dense bool, degSum int64) {
+	if rec == nil {
+		return
+	}
+	if dense {
+		rec.Inc(obs.CtrEdgeMapDense)
+		rec.SetGauge(obs.GaugeEdgeMapLastDense, 1)
+	} else {
+		rec.Inc(obs.CtrEdgeMapSparse)
+		rec.SetGauge(obs.GaugeEdgeMapLastDense, 0)
+	}
+	rec.Add(obs.CtrEdgeMapEdges, degSum)
 }
 
 // edgeMapSparse is the push traversal: map over the out-edges of U.
