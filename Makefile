@@ -1,10 +1,12 @@
 # Developer targets for the julienne repository. `make check` is the
-# CI gate: build + full tests, static checks, and race-testing the
-# concurrency-sensitive packages (bucket counters, obs recorder).
+# CI gate: build + full tests, static checks, race-testing the
+# concurrency-sensitive packages (bucket structure, algorithms, Ligra
+# layer, obs recorder) including a short property-test pass, and the
+# julienne_debug build with invariant assertions compiled in.
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench check
+.PHONY: all build test vet fmt race debug fuzz bench check
 
 all: check
 
@@ -23,10 +25,29 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/bucket/... ./internal/obs/...
+	$(GO) test -race -short ./internal/bucket/... ./internal/obs/... \
+		./internal/algo/... ./internal/ligra/... ./internal/proptest/...
+
+# debug builds with the julienne_debug tag, which compiles invariant
+# assertions into the bucket structure and Ligra layer, then runs the
+# assertion-sensitive suites under it.
+debug:
+	$(GO) build -tags julienne_debug ./...
+	$(GO) test -tags julienne_debug -short ./internal/bucket/... ./internal/proptest/...
+
+# fuzz smoke: a bounded run of every fuzz target (CI nightly runs this;
+# `go test -fuzz` accepts one target per package invocation).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzVarint -fuzztime $(FUZZTIME) ./internal/compress/
+	$(GO) test -fuzz=FuzzDecode -fuzztime $(FUZZTIME) ./internal/compress/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/
+	$(GO) test -fuzz=FuzzReadText -fuzztime $(FUZZTIME) ./internal/graphio/
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime $(FUZZTIME) ./internal/graphio/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/graphio/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: build test vet fmt race
+check: build test vet fmt race debug
 	@echo "check: ok"

@@ -18,6 +18,7 @@ import (
 	"julienne/internal/graphio"
 	"julienne/internal/ligra"
 	"julienne/internal/obs"
+	"julienne/internal/oracle"
 )
 
 // --- graph types ------------------------------------------------------------
@@ -453,6 +454,52 @@ type TrussResult = truss.Result
 // over *edge* identifiers — §3.1's "identifiers represent other
 // objects such as edges" made concrete.
 func KTruss(g *CSR) TrussResult { return truss.Trussness(g) }
+
+// --- verification (sequential oracles) ---------------------------------------
+
+// The Verify* helpers check algorithm outputs against the deliberately
+// simple sequential reference implementations in internal/oracle
+// (linear-scan Matula–Beck, array Dijkstra, queue BFS, flood-fill
+// components, rescan greedy set cover). They share no machinery with
+// the parallel algorithms, run in O(n²)-ish time, and are meant for
+// tests and small-graph sanity checks, not production-size inputs.
+
+// VerifyKCore checks coreness values against the sequential peeling
+// oracle. The graph must be undirected.
+func VerifyKCore(g Graph, coreness []uint32) error {
+	return oracle.VerifyCoreness(g, coreness)
+}
+
+// VerifySSSP checks shortest-path distances from src (UnreachableDist
+// for unreachable vertices) against the array-Dijkstra oracle.
+func VerifySSSP(g Graph, src Vertex, dist []int64) error {
+	return oracle.VerifyDistances(g, src, dist)
+}
+
+// VerifyBFS checks BFS levels exactly and, when parent is non-nil, the
+// parent array structurally (each parent one level closer over a real
+// edge).
+func VerifyBFS(g Graph, src Vertex, level []int32, parent []Vertex) error {
+	return oracle.VerifyBFS(g, src, level, parent)
+}
+
+// VerifyComponents checks canonical min-label component labels. The
+// graph must be undirected.
+func VerifyComponents(g Graph, labels []Vertex) error {
+	return oracle.VerifyComponents(g, labels)
+}
+
+// VerifySetCover checks that inCover is a valid cover and that its size
+// is within the (1+eps)·H_d approximation bound of the greedy oracle in
+// both directions.
+func VerifySetCover(g Graph, numSets int, inCover []bool, eps float64) error {
+	return oracle.VerifyCover(g, numSets, inCover, eps)
+}
+
+// BucketDebugEnabled reports whether this binary was built with the
+// julienne_debug tag, which compiles invariant assertions into the
+// bucket structure and the Ligra layer.
+const BucketDebugEnabled = bucket.DebugEnabled
 
 // WriteEdgeList / ReadEdgeList expose the SNAP-style edge-list format.
 func WriteEdgeList(w io.Writer, g *CSR) error { return graphio.WriteEdgeList(w, g) }

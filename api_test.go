@@ -366,3 +366,57 @@ func TestObservabilityFacade(t *testing.T) {
 		t.Fatal("uninstrumented run diverged")
 	}
 }
+
+func TestVerifyFacade(t *testing.T) {
+	g := Symmetrized(ErdosRenyi(40, 120, true, 7))
+
+	coreness := KCore(g)
+	if err := VerifyKCore(g, coreness); err != nil {
+		t.Fatalf("VerifyKCore rejected a correct result: %v", err)
+	}
+	bad := append([]uint32(nil), coreness...)
+	if len(bad) > 0 {
+		bad[0] += 5
+		if err := VerifyKCore(g, bad); err == nil {
+			t.Fatal("VerifyKCore accepted corrupted coreness")
+		}
+	}
+
+	wg := UniformWeights(g, 1, 8, 3)
+	dist := DeltaStepping(wg, 0, 4)
+	if err := VerifySSSP(wg, 0, dist); err != nil {
+		t.Fatalf("VerifySSSP rejected a correct result: %v", err)
+	}
+	badDist := append([]int64(nil), dist...)
+	badDist[len(badDist)-1]++
+	if err := VerifySSSP(wg, 0, badDist); err == nil {
+		t.Fatal("VerifySSSP accepted corrupted distances")
+	}
+
+	bres := BFS(g, 0)
+	if err := VerifyBFS(g, 0, bres.Level, bres.Parent); err != nil {
+		t.Fatalf("VerifyBFS rejected a correct result: %v", err)
+	}
+	if err := VerifyBFS(g, 0, bres.Level, nil); err != nil {
+		t.Fatalf("VerifyBFS without parents: %v", err)
+	}
+
+	labels := ConnectedComponents(g)
+	if err := VerifyComponents(g, labels); err != nil {
+		t.Fatalf("VerifyComponents rejected a correct result: %v", err)
+	}
+
+	inst := NewSetCoverInstance(12, 60, 3, 11)
+	cover := ApproxSetCover(inst.Graph, inst.Sets, SetCoverOptions{})
+	if err := VerifySetCover(inst.Graph, inst.Sets, cover.InCover, 0.01); err != nil {
+		t.Fatalf("VerifySetCover rejected a correct result: %v", err)
+	}
+	none := make([]bool, inst.Sets)
+	if err := VerifySetCover(inst.Graph, inst.Sets, none, 0.01); err == nil {
+		t.Fatal("VerifySetCover accepted an empty cover")
+	}
+
+	// BucketDebugEnabled mirrors the build tag; in either state the
+	// constant must be usable from the public API.
+	_ = BucketDebugEnabled
+}

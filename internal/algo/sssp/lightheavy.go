@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"math"
 	"sync/atomic"
 
 	"julienne/internal/bucket"
@@ -27,7 +28,17 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 	if delta <= 0 {
 		panic("sssp: delta must be positive")
 	}
-	light, heavy := splitLightHeavy(g, graph.Weight(min(delta, int64(1)<<30)))
+	// Every edge with w ≤ ∆ must be classified light: the rebucketing
+	// below treats any vertex landing in the current annulus as settled,
+	// which is only sound because a genuinely heavy relaxation (w > ∆)
+	// always lands beyond the annulus. Weights are int32, so capping the
+	// threshold at MaxInt32 keeps the conversion in range while still
+	// classifying every edge as light once ∆ exceeds the weight range.
+	limit := delta
+	if limit > math.MaxInt32 {
+		limit = math.MaxInt32
+	}
+	light, heavy := splitLightHeavy(g, graph.Weight(limit))
 
 	n := g.NumVertices()
 	udelta := uint64(delta)
@@ -38,7 +49,11 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		if dist >= inf {
 			return bucket.Nil
 		}
-		return bucket.ID(dist / udelta)
+		b := dist / udelta
+		if b >= uint64(bucket.Nil) {
+			panic("sssp: distance/delta exceeds the bucket id space; increase delta")
+		}
+		return bucket.ID(b)
 	}
 	d := func(i uint32) bucket.ID { return bktOf(sp[i] &^ flag) }
 	b := bucket.New(n, d, bucket.Increasing, opt.Buckets)

@@ -1,0 +1,53 @@
+package sssp
+
+import (
+	"testing"
+
+	"julienne/internal/graph"
+)
+
+// hugeWeightPath builds a directed path 0→1→2→3 whose edges all carry
+// the maximum representable weight, so shortest-path distances overflow
+// 32 bits (3·(2³¹−1) ≈ 6.4e9).
+func hugeWeightPath(t *testing.T) *graph.CSR {
+	t.Helper()
+	w := graph.Weight(1<<31 - 1)
+	edges := []graph.Edge{{U: 0, V: 1, W: w}, {U: 1, V: 2, W: w}, {U: 2, V: 3, W: w}}
+	opt := graph.DefaultBuild
+	opt.Weighted = true
+	return graph.FromEdges(4, edges, opt)
+}
+
+// DeltaSteppingLH used to compute bucket ids as bucket.ID(dist/delta)
+// with no range check, so distances at or above 2³²·∆ silently wrapped
+// modulo 2³² and corrupted the traversal order. DeltaStepping always
+// guarded this case with a panic; the light/heavy variant must behave
+// identically.
+func TestDeltaSteppingLHBucketOverflowGuard(t *testing.T) {
+	g := hugeWeightPath(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("DeltaSteppingLH(delta=1) on >32-bit distances: want panic, got none")
+		}
+	}()
+	DeltaSteppingLH(g, 0, 1, Options{})
+}
+
+// With a delta large enough to keep bucket ids in range, the same graph
+// must produce exact distances. The delta = 2³² leg pins a second
+// discrepancy: splitLightHeavy used to cap the light threshold at 2³⁰,
+// misclassifying edges with 2³⁰ < w ≤ ∆ as heavy; a heavy relaxation
+// landing inside the current annulus was then treated as settled
+// without ever exploring its edges, reporting reachable vertices as
+// unreachable.
+func TestDeltaSteppingLHHugeWeights(t *testing.T) {
+	g := hugeWeightPath(t)
+	w := int64(1<<31 - 1)
+	want := []int64{0, w, 2 * w, 3 * w}
+	for _, delta := range []int64{w, 1 << 32} {
+		res := DeltaSteppingLH(g, 0, delta, Options{})
+		checkDists(t, "DeltaSteppingLH", res.Dist, want)
+	}
+	res := DijkstraHeap(g, 0)
+	checkDists(t, "DijkstraHeap", res.Dist, want)
+}

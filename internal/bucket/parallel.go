@@ -57,6 +57,10 @@ type Par struct {
 
 	// scratch reused across UpdateBuckets calls.
 	counts []uint32
+
+	// dbg holds invariant-assertion state; zero-sized unless the build
+	// is tagged julienne_debug (see debug_on.go / debug_off.go).
+	dbg debugState
 }
 
 var _ Structure = (*Par)(nil)
@@ -120,6 +124,7 @@ func New(n int, d func(uint32) ID, order Order, opt Options) *Par {
 	// the counters so Stats reflects only post-construction traffic.
 	// The recorder is attached afterwards for the same reason.
 	b.stats = Stats{}
+	b.debugReset()
 	b.rec = opt.Recorder
 	return b
 }
@@ -229,6 +234,7 @@ func (b *Par) NextBucket() (ID, []uint32) {
 	if b.done {
 		return Nil, nil
 	}
+	b.debugCheckStructure()
 	for {
 		for b.cur <= b.nB-1 {
 			slot := b.cur
@@ -250,6 +256,7 @@ func (b *Par) NextBucket() (ID, []uint32) {
 			atomic.AddInt64(&b.stats.BucketsReturned, 1)
 			b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
 			b.rec.Inc(obs.CtrBucketReturned)
+			b.debugCheckExtract(cur, live)
 			return cur, live
 		}
 		// Open range exhausted: redistribute overflow, if any.
@@ -337,6 +344,7 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	if k <= 0 || b.done {
 		return
 	}
+	b.debugCheckUpdate(k, f)
 	if b.useSemi {
 		b.updateSemisort(k, f)
 		return
@@ -408,6 +416,7 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	atomic.AddInt64(&b.stats.Skipped, skipped)
 	b.rec.Add(obs.CtrBucketMoved, int64(total))
 	b.rec.Add(obs.CtrBucketSkipped, skipped)
+	b.debugCheckUpdateTotals(k, int64(total), skipped)
 }
 
 // updateSemisort is the §3.2 update algorithm: build (destination,
@@ -424,6 +433,7 @@ func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 		return pair{Key: uint32(dest), Value: id}, true
 	})
 	if len(pairs) == 0 {
+		b.debugCheckUpdateTotals(k, 0, int64(k))
 		return
 	}
 	sorted := semisort.Pairs(pairs)
@@ -447,6 +457,7 @@ func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 	atomic.AddInt64(&b.stats.Moved, int64(len(sorted)))
 	b.rec.Add(obs.CtrBucketMoved, int64(len(sorted)))
 	b.rec.Add(obs.CtrBucketSkipped, int64(k-len(pairs)))
+	b.debugCheckUpdateTotals(k, int64(len(sorted)), int64(k-len(pairs)))
 }
 
 // Stats implements Structure. The snapshot uses atomic loads so it is

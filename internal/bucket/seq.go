@@ -22,6 +22,10 @@ type Seq struct {
 	cur   int64      // logical id of the current bucket (may be -1 done)
 	stats Stats
 	rec   *obs.Recorder
+
+	// dbg holds invariant-assertion state; zero-sized unless the build
+	// is tagged julienne_debug (see debug_on.go / debug_off.go).
+	dbg debugState
 }
 
 var _ Structure = (*Seq)(nil)
@@ -92,6 +96,7 @@ func (s *Seq) NextBucket() (ID, []uint32) {
 		atomic.AddInt64(&s.stats.BucketsReturned, 1)
 		s.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
 		s.rec.Inc(obs.CtrBucketReturned)
+		s.debugCheckExtract(cur, live)
 		return cur, live
 	}
 	return Nil, nil
@@ -138,6 +143,7 @@ func (s *Seq) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	atomic.AddInt64(&s.stats.Skipped, skipped)
 	s.rec.Add(obs.CtrBucketMoved, moved)
 	s.rec.Add(obs.CtrBucketSkipped, skipped)
+	s.debugCheckUpdateTotals(k, moved, skipped)
 }
 
 // Stats implements Structure. The snapshot uses atomic loads so it is

@@ -1,0 +1,44 @@
+package gen
+
+import (
+	"testing"
+
+	"julienne/internal/graph"
+)
+
+// Every family must produce structurally valid graphs across sizes
+// (including the n = 0 and n = 1 corners), honor its Symmetric flag,
+// and be deterministic in the seed.
+func TestFamiliesValid(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, size := range [][2]int{{0, 0}, {1, 4}, {2, 1}, {17, 40}, {64, 256}} {
+				n, m := size[0], size[1]
+				g := fam.Build(n, m, 42)
+				if err := graph.Validate(g); err != nil {
+					t.Fatalf("n=%d m=%d: %v", n, m, err)
+				}
+				if g.Symmetric() != fam.Symmetric {
+					t.Fatalf("n=%d m=%d: Symmetric()=%v, flag says %v", n, m, g.Symmetric(), fam.Symmetric)
+				}
+				again := fam.Build(n, m, 42)
+				if g.NumVertices() != again.NumVertices() || g.NumEdges() != again.NumEdges() {
+					t.Fatalf("n=%d m=%d: not deterministic", n, m)
+				}
+			}
+		})
+	}
+}
+
+func TestSymmetricFamilies(t *testing.T) {
+	syms := SymmetricFamilies()
+	if len(syms) < 6 {
+		t.Fatalf("only %d symmetric families; property tests need ≥ 6", len(syms))
+	}
+	for _, f := range syms {
+		if !f.Symmetric {
+			t.Fatalf("family %s in SymmetricFamilies is not symmetric", f.Name)
+		}
+	}
+}

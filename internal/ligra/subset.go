@@ -35,6 +35,7 @@ func Single(n int, v graph.Vertex) VertexSubset {
 // FromSparse wraps a list of distinct vertex ids as a subset. The slice
 // is adopted, not copied.
 func FromSparse(n int, ids []graph.Vertex) VertexSubset {
+	debugCheckSparse(n, ids)
 	return VertexSubset{n: n, sparse: ids, size: len(ids)}
 }
 

@@ -1,0 +1,81 @@
+// Package oracle holds small, obviously-correct sequential reference
+// implementations of every algorithm family in this repository. They
+// are the ground truth the differential property tests in
+// internal/proptest compare the parallel, work-efficient
+// implementations against, following the methodology of GBBS
+// ("Theoretically Efficient Parallel Graph Algorithms Can Be Fast and
+// Scalable", SPAA'18): each parallel benchmark is validated against a
+// simple serial baseline whose correctness is evident by inspection.
+//
+// The implementations here deliberately trade efficiency for
+// simplicity — linear scans instead of heaps, repeated passes instead
+// of bucket queues — so that they share no code, no data-structure
+// tricks, and no failure modes with the implementations under test
+// (the sequential baselines in internal/algo, such as CorenessBZ and
+// DijkstraHeap, are optimized enough to harbor the same class of bug
+// they would be checking for). Costs are O(n^2 + m)-ish, which is fine
+// for the property tests' graph sizes.
+//
+// Everything operates through the graph.Graph read interface, so the
+// oracles run unchanged over plain CSR and compressed graphs.
+package oracle
+
+import (
+	"fmt"
+
+	"julienne/internal/graph"
+)
+
+// DiffUint32 compares two uint32-valued per-vertex results and reports
+// the first mismatching vertex, for small, readable failure messages.
+func DiffUint32(name string, got, want []uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("%s: vertex %d: got %d, want %d", name, v, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+// DiffInt64 is DiffUint32 for int64-valued results (SSSP distances).
+func DiffInt64(name string, got, want []int64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("%s: vertex %d: got %d, want %d", name, v, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+// DiffInt32 is DiffUint32 for int32-valued results (BFS levels).
+func DiffInt32(name string, got, want []int32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("%s: vertex %d: got %d, want %d", name, v, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+// DiffVertices is DiffUint32 for Vertex-valued results (CC labels, BFS
+// parents).
+func DiffVertices(name string, got, want []graph.Vertex) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("%s: vertex %d: got %d, want %d", name, v, got[v], want[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package proptest is the property-based differential-testing harness:
+// it draws random graphs from every generator family in internal/gen,
+// runs each parallel algorithm on both the plain CSR and the byte-coded
+// compressed representation at multiple parallelism levels, and
+// cross-checks the results against the small, obviously-correct
+// sequential oracles in internal/oracle.
+//
+// Every case is fully determined by a (family, seed, n, m, procs,
+// compressed) tuple, so failures are replayable: on mismatch the runner
+// shrinks toward the smallest still-failing tuple and prints a
+// JULIENNE_PROPTEST_REPRO assignment that re-runs exactly that case.
+//
+// Knobs (all environment variables, read once per Check call):
+//
+//	JULIENNE_PROPTEST_SEEDS  number of seeds per family (default 4, 2 under -short)
+//	JULIENNE_PROPTEST_MAXN   largest random graph size (default 160, 48 under -short)
+//	JULIENNE_PROPTEST_REPRO  "family:seed:n:m:procs:compressed" — run one pinned case
+//
+// CI runs the default budget on every push and a larger seed budget
+// nightly; see .github/workflows/ci.yml.
+package proptest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"julienne/internal/compress"
+	"julienne/internal/gen"
+	"julienne/internal/graph"
+	"julienne/internal/parallel"
+	"julienne/internal/rng"
+)
+
+// Case pins one fully-determined run of a property.
+type Case struct {
+	// Family names the gen.Family the graph is drawn from.
+	Family string
+	// Seed drives the generator and every in-property random choice
+	// (source vertex, weight family, bucket options, ...).
+	Seed uint64
+	// N and M are the target vertex and edge counts handed to Build.
+	N, M int
+	// Procs is the GOMAXPROCS the case runs under.
+	Procs int
+	// Compressed selects the byte-coded representation for the graph
+	// under test (oracles always read the plain CSR).
+	Compressed bool
+}
+
+// String renders the case in the JULIENNE_PROPTEST_REPRO format.
+func (c Case) String() string {
+	return fmt.Sprintf("%s:%d:%d:%d:%d:%t", c.Family, c.Seed, c.N, c.M, c.Procs, c.Compressed)
+}
+
+// Repro returns the environment assignment that replays this case.
+func (c Case) Repro() string { return "JULIENNE_PROPTEST_REPRO=" + c.String() }
+
+// Wrap converts a CSR into the representation under test. Properties
+// must route the graph they hand to the algorithm under test through
+// Wrap (after any reweighting) so both representations get covered.
+func (c Case) Wrap(g *graph.CSR) graph.Graph {
+	if c.Compressed {
+		return compress.FromCSR(g)
+	}
+	return g
+}
+
+// Rand returns the i-th derived random value of this case's stream.
+// Properties use it so every random choice is a pure function of the
+// case, keeping shrinking and repro deterministic.
+func (c Case) Rand(i, n uint64) uint64 { return rng.UintNAt(c.Seed, 0x5eed+i, n) }
+
+// Prop checks one concrete case. It receives the freshly generated CSR
+// and returns a descriptive error on any divergence from the oracle.
+// Panics inside a property are recovered and treated as failures.
+type Prop func(c Case, g *graph.CSR) error
+
+// Config is the sweep budget.
+type Config struct {
+	Seeds int // seeds per family
+	MaxN  int // largest random n
+}
+
+// DefaultConfig resolves the budget from the environment and -short.
+func DefaultConfig() Config {
+	cfg := Config{Seeds: 4, MaxN: 160}
+	if testing.Short() {
+		cfg = Config{Seeds: 2, MaxN: 48}
+	}
+	if v := envInt("JULIENNE_PROPTEST_SEEDS"); v > 0 {
+		cfg.Seeds = v
+	}
+	if v := envInt("JULIENNE_PROPTEST_MAXN"); v > 0 {
+		cfg.MaxN = v
+	}
+	return cfg
+}
+
+func envInt(name string) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Check sweeps prop over every family × seed × {1, P} procs × {CSR,
+// compressed} and fails the test with a shrunk minimal counterexample
+// on the first divergence. When JULIENNE_PROPTEST_REPRO is set, only
+// that pinned case runs.
+func Check(t *testing.T, fams []gen.Family, prop Prop) {
+	t.Helper()
+	if spec := os.Getenv("JULIENNE_PROPTEST_REPRO"); spec != "" {
+		c, err := ParseCase(spec)
+		if err != nil {
+			t.Fatalf("bad JULIENNE_PROPTEST_REPRO: %v", err)
+		}
+		if _, ok := familyNamed(fams, c.Family); !ok {
+			t.Skipf("repro case %s targets a family this property does not sweep", c)
+		}
+		if err := runCase(c, fams, prop); err != nil {
+			t.Fatalf("repro case %s: %v", c, err)
+		}
+		return
+	}
+	cfg := DefaultConfig()
+	pmax := parallel.Procs()
+	if pmax < 2 {
+		// Single-CPU machine: raising GOMAXPROCS past the core count
+		// still schedules many goroutines through the parallel loops,
+		// which is what the P-sweep is after.
+		pmax = 4
+	}
+	for _, fam := range fams {
+		for s := 0; s < cfg.Seeds; s++ {
+			seed := rng.At(uint64(0x6a756c69656e6e65), uint64(s)) // "julienne"
+			n, m := caseSize(seed, s, cfg.MaxN)
+			for _, procs := range []int{1, pmax} {
+				for _, compressed := range []bool{false, true} {
+					c := Case{Family: fam.Name, Seed: seed, N: n, M: m,
+						Procs: procs, Compressed: compressed}
+					if err := runCase(c, fams, prop); err != nil {
+						min, minErr := shrink(c, err, fams, prop)
+						t.Fatalf("property failed: %v\n  minimal case: %s\n  rerun with: %s go test ./internal/proptest/ -run %s",
+							minErr, min, min.Repro(), t.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// caseSize derives the graph size for a seed. Seed index 0 always draws
+// from the degenerate corner (n ≤ 4) so empty and near-empty graphs are
+// exercised on every run, not just when the budget is large.
+func caseSize(seed uint64, idx, maxN int) (n, m int) {
+	if idx == 0 {
+		return int(rng.UintNAt(seed, 1, 5)), int(rng.UintNAt(seed, 2, 9))
+	}
+	n = 1 + int(rng.UintNAt(seed, 1, uint64(maxN)))
+	m = int(rng.UintNAt(seed, 2, uint64(4*n)+1))
+	return n, m
+}
+
+func familyNamed(fams []gen.Family, name string) (gen.Family, bool) {
+	for _, f := range fams {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return gen.Family{}, false
+}
+
+// runCase builds the case's graph and runs the property under the
+// case's GOMAXPROCS, converting panics into errors so a crashing case
+// shrinks like any other failure.
+func runCase(c Case, fams []gen.Family, prop Prop) (err error) {
+	fam, ok := familyNamed(fams, c.Family)
+	if !ok {
+		return fmt.Errorf("unknown family %q", c.Family)
+	}
+	prev := parallel.SetProcs(c.Procs)
+	defer parallel.SetProcs(prev)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return prop(c, fam.Build(c.N, c.M, c.Seed))
+}
+
+// shrink minimizes a failing case: first strip the representation and
+// parallelism dimensions (a failure that survives on the plain CSR at
+// P = 1 rules out whole subsystems), then descend on (n, m) greedily as
+// long as some smaller graph still fails.
+func shrink(c Case, firstErr error, fams []gen.Family, prop Prop) (Case, error) {
+	best, bestErr := c, firstErr
+	try := func(cand Case) bool {
+		if err := runCase(cand, fams, prop); err != nil {
+			best, bestErr = cand, err
+			return true
+		}
+		return false
+	}
+	if best.Compressed {
+		cand := best
+		cand.Compressed = false
+		try(cand)
+	}
+	if best.Procs != 1 {
+		cand := best
+		cand.Procs = 1
+		try(cand)
+	}
+	for {
+		n, m := best.N, best.M
+		progressed := false
+		for _, size := range [][2]int{{n / 2, m / 2}, {n, m / 2}, {n / 2, m}, {3 * n / 4, 3 * m / 4}} {
+			if size[0] == n && size[1] == m {
+				continue
+			}
+			cand := best
+			cand.N, cand.M = size[0], size[1]
+			if try(cand) {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return best, bestErr
+		}
+	}
+}
+
+// ParseCase parses the JULIENNE_PROPTEST_REPRO format
+// "family:seed:n:m:procs:compressed".
+func ParseCase(spec string) (Case, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 6 {
+		return Case{}, fmt.Errorf("%q: want family:seed:n:m:procs:compressed", spec)
+	}
+	seed, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return Case{}, fmt.Errorf("seed %q: %v", parts[1], err)
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Case{}, fmt.Errorf("n %q: %v", parts[2], err)
+	}
+	m, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return Case{}, fmt.Errorf("m %q: %v", parts[3], err)
+	}
+	procs, err := strconv.Atoi(parts[4])
+	if err != nil {
+		return Case{}, fmt.Errorf("procs %q: %v", parts[4], err)
+	}
+	compressed, err := strconv.ParseBool(parts[5])
+	if err != nil {
+		return Case{}, fmt.Errorf("compressed %q: %v", parts[5], err)
+	}
+	return Case{Family: parts[0], Seed: seed, N: n, M: m, Procs: procs, Compressed: compressed}, nil
+}
