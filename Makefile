@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race debug fuzz bench check
+.PHONY: all build test vet fmt race debug fuzz bench bench-smoke bench-go check
 
 all: check
 
@@ -46,7 +46,21 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime $(FUZZTIME) ./internal/graphio/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/graphio/
 
+# bench regenerates the committed performance baseline
+# (BENCH_bucket.json / BENCH_algos.json in the repo root), including
+# the before/after comparison against the pinned pre-arena numbers.
+# bench-smoke is the CI-sized variant: small inputs, no comparison,
+# output under bench-out/. See DESIGN.md §7 for the report schema.
+BENCH_OUT ?= .
 bench:
+	$(GO) run ./cmd/bench -out $(BENCH_OUT)
+
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke -out bench-out
+
+# bench-go runs the raw go-test benchmarks once each (quick signal
+# while iterating; use `make bench` for the reproducible reports).
+bench-go:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 check: build test vet fmt race debug

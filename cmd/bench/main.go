@@ -1,0 +1,56 @@
+// Command bench regenerates the repository's performance baseline:
+//
+//	bench [-smoke] [-out dir] [-reps n] [-seed s]
+//
+// It measures the bucket structure's hot paths and the four bucketed
+// applications (k-core, ∆-stepping, wBFS, approximate set cover) at
+// GOMAXPROCS ∈ {1, NumCPU} and writes BENCH_bucket.json and
+// BENCH_algos.json into -out. Full-budget runs (the default; `make
+// bench`) additionally re-measure the pre-arena go-test benchmarks so
+// the files carry a before/after allocator comparison; -smoke (`make
+// bench-smoke`) shrinks inputs to CI size and skips the comparison.
+//
+// DESIGN.md §7 documents the report schema and the measurement
+// methodology; cmd/experiments produces the paper-style tables and
+// figures instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"julienne/internal/bench"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "CI-sized inputs, no before/after re-measurement")
+	out := flag.String("out", ".", "output directory for BENCH_*.json")
+	reps := flag.Int("reps", 0, "timing repetitions per configuration (default 5, 3 with -smoke)")
+	seed := flag.Uint64("seed", 0, "workload seed (default 2017)")
+	flag.Parse()
+
+	cfg := bench.Config{Smoke: *smoke, Reps: *reps, Seed: *seed}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	write := func(name string, rep *bench.Report) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d results)\n", path, len(rep.Results))
+		fmt.Print(bench.FormatSummary(rep))
+	}
+	write("BENCH_bucket.json", bench.Bucket(cfg))
+	write("BENCH_algos.json", bench.Algos(cfg))
+}

@@ -8,7 +8,10 @@
 //	            [-scale small|medium|large] [-reps N] [-seed S]
 //	            [-trace out.json] [-stats] [-pprof :6060]
 //
-// A full run at -scale medium is recorded in EXPERIMENTS.md.
+// A full run at -scale medium is recorded in EXPERIMENTS.md. For the
+// allocator-focused performance baseline (BENCH_*.json with per-round
+// bytes and bucket-traffic counters), use cmd/bench / `make bench`
+// instead; DESIGN.md §7 describes that methodology.
 package main
 
 import (

@@ -93,6 +93,8 @@ func Charikar(g graph.Graph) Result {
 	removedAt := make([]int64, n) // round at which each vertex fell (1-based)
 	var scratch ligra.CountScratch
 	for alive > 0 {
+		// ids aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		k, ids := b.NextBucket()
 		if k == bucket.Nil {
 			break

@@ -95,6 +95,8 @@ func Coreness(g graph.Graph, opt Options) Result {
 	var edges int64
 	var prevStats bucket.Stats
 	for finished < n {
+		// ids aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		k, ids := b.NextBucket()
 		if k == bucket.Nil {
 			break

@@ -56,6 +56,8 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 	emOpts := ligra.EdgeMapOptions{NoDense: true, NoOutput: true, Recorder: rec}
 	var prevStats bucket.Stats
 	for {
+		// sets aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		bkt, sets := b.NextBucket()
 		if bkt == bucket.Nil {
 			break

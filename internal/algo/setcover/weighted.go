@@ -109,6 +109,8 @@ func ApproxWeightedOn(work graph.Packer, numSets int, costs []float64, opt Optio
 	res := WeightedResult{Result: Result{InCover: make([]bool, numSets)}}
 	elmUncovered := func(_, e graph.Vertex) bool { return covered[e] == 0 }
 	for {
+		// sets aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		bkt, sets := b.NextBucket()
 		if bkt == bucket.Nil {
 			break

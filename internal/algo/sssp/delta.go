@@ -58,6 +58,8 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 	var prevStats bucket.Stats
 	var prevRelax int64
 	for {
+		// ids aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		id, ids := b.NextBucket()
 		if id == bucket.Nil {
 			break

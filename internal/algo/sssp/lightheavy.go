@@ -83,6 +83,9 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		var capturedIDs []graph.Vertex
 		var capturedOld []uint64
 
+		// ids aliases the bucket arena (valid only until the next
+		// NextBucket call), but settled is appended to during the light
+		// rounds and read by the heavy phase — so copy it out.
 		settled := append([]graph.Vertex(nil), ids...)
 		parallel.For(len(ids), parallel.DefaultGrain, func(i int) {
 			annulusMark[ids[i]] = annulus

@@ -133,6 +133,8 @@ func Trussness(g *graph.CSR) Result {
 	var updIDs []uint32
 	var updDests []bucket.Dest
 	for finished < m {
+		// ids aliases the bucket structure's arena: valid only until
+		// the next NextBucket call, and fully consumed this round.
 		k, ids := b.NextBucket()
 		if k == bucket.Nil {
 			break

@@ -1,0 +1,204 @@
+// Package bench is the reproducible performance baseline behind `make
+// bench`: it measures the bucket structure's hot paths and the four
+// bucketed applications (k-core, ∆-stepping, wBFS, approximate set
+// cover) at GOMAXPROCS ∈ {1, NumCPU}, and emits machine-readable
+// reports (BENCH_bucket.json, BENCH_algos.json) with wall-clock and
+// allocator figures per operation AND per round, plus the bucket- and
+// edge-map-traffic counters from internal/obs.
+//
+// Every report embeds the pre-arena baseline (the go-test benchmark
+// numbers measured immediately before the scratch-arena work landed,
+// see baseline.go), and full-budget runs re-measure the same
+// benchmarks so the committed files carry a direct before/after
+// comparison. DESIGN.md §7 documents how to read the output.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"julienne/internal/harness"
+	"julienne/internal/obs"
+	"julienne/internal/parallel"
+)
+
+// Config selects the measurement budget.
+type Config struct {
+	// Smoke shrinks inputs to CI size and skips the slow before/after
+	// re-measurement; the numbers still exercise every code path.
+	Smoke bool
+	// Reps is the timing repetition count for medians (0 = default).
+	Reps int
+	// Seed makes workloads reproducible (0 = default).
+	Seed uint64
+}
+
+func (c Config) reps() int {
+	if c.Reps >= 1 {
+		return c.Reps
+	}
+	if c.Smoke {
+		return 3
+	}
+	return 5
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 2017 // SPAA '17
+	}
+	return c.Seed
+}
+
+// Entry is one measured workload configuration.
+type Entry struct {
+	Name   string `json:"name"`
+	Family string `json:"family,omitempty"`
+	Procs  int    `json:"procs"`
+	N      int    `json:"n,omitempty"`
+	M      int64  `json:"m,omitempty"`
+	// Rounds is the number of bucket/peeling rounds one operation
+	// executes; the per-round figures below divide by it.
+	Rounds int64 `json:"rounds,omitempty"`
+	// NsPerOp is the median wall-clock time of one operation.
+	NsPerOp    int64 `json:"ns_per_op"`
+	NsPerRound int64 `json:"ns_per_round,omitempty"`
+	// BytesPerOp/AllocsPerOp are allocator traffic per operation
+	// (ReadMemStats deltas averaged over the measurement runs).
+	BytesPerOp    int64 `json:"bytes_per_op"`
+	BytesPerRound int64 `json:"bytes_per_round,omitempty"`
+	AllocsPerOp   int64 `json:"allocs_per_op"`
+	// Counters is one instrumented run's internal/obs counter snapshot
+	// (bucket.* traffic, edgemap.* direction decisions).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// GoBench is one go-test-style benchmark result, the unit of the
+// before/after comparison.
+type GoBench struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// Baseline is a pinned set of GoBench numbers from a named commit.
+type Baseline struct {
+	Commit  string    `json:"commit"`
+	Note    string    `json:"note"`
+	Entries []GoBench `json:"entries"`
+}
+
+// Delta is one before/after row: the current re-measurement of a
+// baseline benchmark and the relative change in allocator bytes.
+type Delta struct {
+	Name           string  `json:"name"`
+	Before         GoBench `json:"before"`
+	After          GoBench `json:"after"`
+	BytesChangePct float64 `json:"bytes_change_pct"`
+}
+
+// Report is the serialized output of one suite.
+type Report struct {
+	Kind      string `json:"kind"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Smoke     bool   `json:"smoke"`
+	Seed      uint64 `json:"seed"`
+	// Baseline pins the pre-arena numbers this PR is measured against.
+	Baseline Baseline `json:"pre_arena_baseline"`
+	// Comparison re-measures the baseline benchmarks on the current
+	// tree (full-budget runs only).
+	Comparison []Delta `json:"comparison,omitempty"`
+	Results    []Entry `json:"results"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func newReport(kind string, cfg Config, base Baseline) *Report {
+	return &Report{
+		Kind:      kind,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     cfg.Smoke,
+		Seed:      cfg.seed(),
+		Baseline:  base,
+	}
+}
+
+// procsList returns the GOMAXPROCS values to measure: 1 and the full
+// machine (deduplicated on single-CPU machines).
+func procsList() []int {
+	if runtime.NumCPU() <= 1 {
+		return []int{1}
+	}
+	return []int{1, runtime.NumCPU()}
+}
+
+// withProcs runs f at GOMAXPROCS p, restoring the previous value.
+func withProcs(p int, f func()) {
+	old := parallel.SetProcs(p)
+	defer parallel.SetProcs(old)
+	f()
+}
+
+// measure times and alloc-profiles run (recorder off), then executes
+// one instrumented run to capture rounds and obs counters.
+func measure(e Entry, cfg Config, run func(rec *obs.Recorder) int64) Entry {
+	sample := harness.TimeMedian(cfg.reps(), func() { run(nil) })
+	alloc := harness.MeasureAlloc(cfg.reps(), func() { run(nil) })
+	rec := obs.NewRecorder()
+	rounds := run(rec)
+	e.Rounds = rounds
+	e.NsPerOp = sample.Median.Nanoseconds()
+	e.BytesPerOp = alloc.BytesPerOp
+	e.AllocsPerOp = alloc.AllocsPerOp
+	if rounds > 0 {
+		e.NsPerRound = e.NsPerOp / rounds
+		e.BytesPerRound = e.BytesPerOp / rounds
+	}
+	e.Counters = rec.Counters()
+	return e
+}
+
+// deltas pairs the baseline entries with fresh re-measurements.
+func deltas(base Baseline, current []GoBench) []Delta {
+	byName := map[string]GoBench{}
+	for _, g := range current {
+		byName[g.Name] = g
+	}
+	var out []Delta
+	for _, b := range base.Entries {
+		a, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		pct := 0.0
+		if b.BytesPerOp != 0 {
+			pct = 100 * float64(a.BytesPerOp-b.BytesPerOp) / float64(b.BytesPerOp)
+		}
+		out = append(out, Delta{Name: b.Name, Before: b, After: a, BytesChangePct: pct})
+	}
+	return out
+}
+
+// FormatSummary renders a human-readable digest of the comparison for
+// terminal output.
+func FormatSummary(r *Report) string {
+	if len(r.Comparison) == 0 {
+		return fmt.Sprintf("%s: %d results (no before/after comparison in this mode)\n", r.Kind, len(r.Results))
+	}
+	s := fmt.Sprintf("%s: bytes/op vs pre-arena baseline (%s):\n", r.Kind, r.Baseline.Commit)
+	for _, d := range r.Comparison {
+		s += fmt.Sprintf("  %-36s %12d -> %10d B/op (%+.1f%%)\n",
+			d.Name, d.Before.BytesPerOp, d.After.BytesPerOp, d.BytesChangePct)
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDeltasPairsByName(t *testing.T) {
+	base := Baseline{
+		Commit: "abc",
+		Entries: []GoBench{
+			{Name: "A", BytesPerOp: 1000},
+			{Name: "B", BytesPerOp: 500},
+			{Name: "missing", BytesPerOp: 9},
+		},
+	}
+	cur := []GoBench{{Name: "A", BytesPerOp: 600}, {Name: "B", BytesPerOp: 500}}
+	ds := deltas(base, cur)
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unmatched baseline rows dropped)", len(ds))
+	}
+	if ds[0].Name != "A" || ds[0].BytesChangePct != -40 {
+		t.Fatalf("A: %+v", ds[0])
+	}
+	if ds[1].BytesChangePct != 0 {
+		t.Fatalf("B: %+v", ds[1])
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := newReport("bucket", Config{Smoke: true}, bucketBaseline)
+	rep.Results = append(rep.Results, Entry{
+		Name: "x", Procs: 1, NsPerOp: 10, BytesPerOp: 20, Rounds: 2,
+		NsPerRound: 5, BytesPerRound: 10,
+		Counters: map[string]int64{"bucket.moved": 7},
+	})
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Kind != "bucket" || len(back.Results) != 1 || back.Baseline.Commit == "" {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+	if back.Results[0].Counters["bucket.moved"] != 7 {
+		t.Fatal("counters lost")
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	rep := newReport("algos", Config{}, algosBaseline)
+	rep.Comparison = []Delta{{
+		Name:   "BenchmarkKCoreRecorderOff",
+		Before: GoBench{BytesPerOp: 1000}, After: GoBench{BytesPerOp: 700},
+		BytesChangePct: -30,
+	}}
+	s := FormatSummary(rep)
+	if !strings.Contains(s, "BenchmarkKCoreRecorderOff") || !strings.Contains(s, "-30.0%") {
+		t.Fatalf("summary: %q", s)
+	}
+}

@@ -70,10 +70,14 @@ const None Dest = Dest(math.MaxUint32)
 type Structure interface {
 	// NextBucket returns the id of the next non-empty bucket in the
 	// traversal order together with the identifiers it contains. The
-	// returned slice is owned by the caller. When the structure is
-	// exhausted it returns (Nil, nil). The same bucket id may be
-	// returned more than once if identifiers are inserted back into
-	// the current bucket between calls.
+	// returned slice is valid only until the next NextBucket call:
+	// implementations reuse its backing storage across rounds (the
+	// parallel structure compacts into a per-structure arena buffer),
+	// so callers that need the identifiers beyond the current round
+	// must copy them out. When the structure is exhausted it returns
+	// (Nil, nil). The same bucket id may be returned more than once if
+	// identifiers are inserted back into the current bucket between
+	// calls.
 	NextBucket() (ID, []uint32)
 	// GetBucket computes the destination for an identifier moving
 	// from bucket prev to bucket next, or None if no physical update

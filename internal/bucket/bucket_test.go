@@ -494,15 +494,27 @@ func TestLargeBulkUpdate(t *testing.T) {
 	}
 }
 
-func TestGrow(t *testing.T) {
-	s := grow(nil, 3)
-	if len(s) != 3 {
+func TestChunkAllocRecycles(t *testing.T) {
+	b := &Par{}
+	s := b.chunkAlloc(8)
+	if len(s) != 8 {
 		t.Fatalf("len=%d", len(s))
 	}
-	s[0], s[1], s[2] = 1, 2, 3
-	s2 := grow(s, 2)
-	if len(s2) != 5 || s2[0] != 1 || s2[2] != 3 {
-		t.Fatalf("grow lost data: %v", s2)
+	// A spent chunk is recycled: the next request it can satisfy must be
+	// served from the free list, not the allocator.
+	b.freePut(s)
+	s2 := b.chunkAlloc(5)
+	if len(s2) != 5 || cap(s2) != 8 || &s2[0] != &s[0] {
+		t.Fatalf("chunk not recycled: len=%d cap=%d", len(s2), cap(s2))
+	}
+	// Best fit: the smallest adequate array wins.
+	big := b.chunkAlloc(64)
+	small := b.chunkAlloc(16)
+	b.freePut(big)
+	b.freePut(small)
+	got := b.chunkAlloc(10)
+	if &got[0] != &small[0] {
+		t.Fatal("best-fit freeGet should pick the 16-cap array over the 64-cap one")
 	}
 }
 

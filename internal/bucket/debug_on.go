@@ -123,14 +123,14 @@ func (b *Par) debugCheckStructure() {
 		return
 	}
 	live := make(map[uint32]int)
-	for slot := 0; slot <= b.nB; slot++ {
-		for _, id := range b.bkts[slot] {
+	check := func(slot int, ids []uint32, overflow bool) {
+		for _, id := range ids {
 			if int(id) >= b.n {
 				panic(fmt.Sprintf("bucket debug: slot %d stores identifier %d out of range [0,%d)", slot, id, b.n))
 			}
 			d := b.d(id)
 			isLive := false
-			if slot == b.nB {
+			if overflow {
 				isLive = b.beyond(d)
 			} else {
 				isLive = d == b.logical(slot)
@@ -141,6 +141,17 @@ func (b *Par) debugCheckStructure() {
 					panic(fmt.Sprintf("bucket debug: identifier %d has %d live copies (D=%d)", id, live[id], d))
 				}
 			}
+		}
+	}
+	for slot := 0; slot <= b.nB; slot++ {
+		bk := &b.bkts[slot]
+		n := 0
+		for _, chunk := range bk.chunks {
+			check(slot, chunk, slot == b.nB)
+			n += len(chunk)
+		}
+		if n != bk.n {
+			panic(fmt.Sprintf("bucket debug: slot %d chunks hold %d identifiers but n is %d", slot, n, bk.n))
 		}
 	}
 }

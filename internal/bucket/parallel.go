@@ -1,6 +1,10 @@
 package bucket
 
 import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"julienne/internal/obs"
@@ -47,20 +51,98 @@ type Par struct {
 	nB      int
 	useSemi bool
 
-	bkts    [][]uint32 // nB open slots + 1 overflow slot
-	cur     int        // current open slot being processed
-	rangeLo ID         // lowest logical id in the open range
-	rangeHi ID         // highest logical id in the open range
+	bkts    []chunkedBucket // nB open slots + 1 overflow slot
+	cur     int             // current open slot being processed
+	rangeLo ID              // lowest logical id in the open range
+	rangeHi ID              // highest logical id in the open range
 	done    bool
 	stats   Stats
 	rec     *obs.Recorder
 
-	// scratch reused across UpdateBuckets calls.
-	counts []uint32
+	// scr is the scratch arena reused across rounds; see the arena type
+	// for the ownership rules.
+	scr    arena
+	freeMu sync.Mutex
+
+	// livePred is the compaction predicate for NextBucket, cached so the
+	// per-round filter does not allocate a closure; it tests D(id)
+	// against liveCur.
+	livePred func(uint32) bool
+	liveCur  ID
+
+	// The histogram-update passes are cached closures reading their
+	// per-call parameters from upd: a closure literal evaluated inside
+	// UpdateBuckets would be heap-allocated on every call (it escapes
+	// into parallel.For's goroutines), defeating the allocation-free
+	// steady state. Creating them once in New makes each UpdateBuckets
+	// call closure-free.
+	upd         updState
+	zeroPass    func(i int)
+	histPass    func(blk int)
+	resizePass  func(s int)
+	scatterPass func(blk int)
 
 	// dbg holds invariant-assertion state; zero-sized unless the build
 	// is tagged julienne_debug (see debug_on.go / debug_off.go).
 	dbg debugState
+}
+
+// chunkedBucket stores one physical slot as a list of immutable
+// chunks, one per UpdateBuckets call that moved identifiers into it.
+// Appending a chunk never copies or over-allocates: inserting k
+// identifiers costs exactly k words of allocator traffic (recycled
+// through the free list when possible), where a single growable array
+// would pay a geometric-reallocation factor of several times the data
+// on every hot bucket. NextBucket compacts the chunks into one
+// contiguous arena buffer when the slot is visited, recycling them.
+type chunkedBucket struct {
+	chunks [][]uint32
+	n      int // total identifiers across chunks, stale copies included
+}
+
+// arena is Par's reusable per-round scratch. Buffers here are owned by
+// the structure and recycled across NextBucket/UpdateBuckets calls, so
+// a peeling loop reaches a steady state with zero allocations per round
+// (the work-efficiency contract of §3: per-round cost proportional to
+// identifiers processed, with no hidden allocator traffic). None of
+// these buffers may be retained by callers beyond the windows the API
+// documents — in particular the slice returned by NextBucket aliases
+// live and is overwritten by the next NextBucket call.
+type arena struct {
+	counts []uint32   // slot-major block histograms (UpdateBuckets)
+	starts []uint32   // per-slot incoming offsets (UpdateBuckets)
+	chunks [][]uint32 // per-slot chunk of the current UpdateBuckets call
+	live   []uint32   // compacted survivors returned by NextBucket
+	pairs  []semisort.Pair[uint32]
+	sorted []semisort.Pair[uint32]
+	// free holds spent identifier chunks (compacted or redistributed
+	// slots) for chunkAlloc to reuse, protected by freeMu and
+	// segregated by capacity class: free[c] holds arrays with cap in
+	// [2^c, 2^(c+1)), so put and get are O(1) instead of a linear scan
+	// over the whole pool.
+	free      [33][][]uint32
+	freeCount int
+}
+
+// maxFreeArrays bounds the recycling list; beyond it the smallest
+// arrays are dropped for the garbage collector (the largest are the
+// ones that can satisfy future chunkAlloc calls).
+const maxFreeArrays = 1024
+
+// slotChunkCap is the chunk-list capacity pre-seeded per slot at
+// construction, sized so typical peels never grow a header array.
+const slotChunkCap = 4
+
+// updState holds one UpdateBuckets call's parameters for the cached
+// pass closures. f is cleared after the call so the structure does not
+// pin the caller's update function between rounds.
+type updState struct {
+	k, nb   int
+	f       func(j int) (uint32, Dest)
+	counts  []uint32
+	starts  []uint32
+	chunks  [][]uint32
+	skipped int64
 }
 
 var _ Structure = (*Par)(nil)
@@ -76,7 +158,64 @@ func New(n int, d func(uint32) ID, order Order, opt Options) *Par {
 		nB = DefaultOpenBuckets
 	}
 	b := &Par{n: n, d: d, order: order, nB: nB, useSemi: opt.Semisort}
-	b.bkts = make([][]uint32, nB+1)
+	b.bkts = make([]chunkedBucket, nB+1)
+	// Seed every slot's chunk list with capacity carved from one shared
+	// backing array: the first insert into a virgin slot would otherwise
+	// allocate a header array, costing one allocation per round in
+	// forward-marching peels. Slots holding more than slotChunkCap
+	// chunks fall back to ordinary (amortized) append growth.
+	hdrs := make([][]uint32, (nB+1)*slotChunkCap)
+	for i := range b.bkts {
+		b.bkts[i].chunks = hdrs[i*slotChunkCap : i*slotChunkCap : (i+1)*slotChunkCap]
+	}
+	// Built once so the per-round compaction filter does not allocate a
+	// closure; NextBucket points liveCur at the slot being compacted.
+	b.livePred = func(id uint32) bool { return b.d(id) == b.liveCur }
+	// The histogram-update passes, likewise built once (see the Par
+	// fields for why). Each reads its parameters from b.upd.
+	b.zeroPass = func(i int) { b.upd.counts[i] = 0 }
+	b.histPass = func(blk int) {
+		u := &b.upd
+		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, u.k)
+		var skip int64
+		for j := lo; j < hi; j++ {
+			_, dest := u.f(j)
+			if dest == None {
+				skip++
+				continue
+			}
+			u.counts[int(dest)*u.nb+blk]++
+		}
+		if skip > 0 {
+			parallel.AddInt64(&u.skipped, skip)
+		}
+	}
+	b.resizePass = func(s int) {
+		u := &b.upd
+		incoming := int(u.starts[s+1] - u.starts[s])
+		if incoming == 0 {
+			return
+		}
+		c := b.chunkAlloc(incoming)
+		u.chunks[s] = c
+		bk := &b.bkts[s]
+		bk.chunks = append(bk.chunks, c)
+		bk.n += incoming
+	}
+	b.scatterPass = func(blk int) {
+		u := &b.upd
+		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, u.k)
+		for j := lo; j < hi; j++ {
+			id, dest := u.f(j)
+			if dest == None {
+				continue
+			}
+			s := int(dest)
+			off := u.counts[s*u.nb+blk]
+			u.counts[s*u.nb+blk] = off + 1
+			u.chunks[s][int(off-u.starts[s])] = id
+		}
+	}
 
 	// Find the first/last non-empty logical bucket in parallel (§3.2:
 	// "calculating the number of initial buckets in parallel using
@@ -230,6 +369,12 @@ func (b *Par) GetBucket(prev, next ID) Dest {
 // anchored at the nearest remaining bucket (§3.3's range advance; we
 // jump directly to the next non-empty bucket rather than walking empty
 // ranges, which only reduces the O(T) term of Lemma 3.2).
+//
+// The returned slice is backed by an arena buffer owned by the
+// structure: it is valid only until the next NextBucket call, which
+// overwrites it. Callers that need the identifiers afterwards must copy
+// them out. All the peeling loops in this repository consume the slice
+// within the round, so the steady state allocates nothing.
 func (b *Par) NextBucket() (ID, []uint32) {
 	if b.done {
 		return Nil, nil
@@ -238,16 +383,20 @@ func (b *Par) NextBucket() (ID, []uint32) {
 	for {
 		for b.cur <= b.nB-1 {
 			slot := b.cur
-			arr := b.bkts[slot]
-			if len(arr) == 0 {
+			bk := &b.bkts[slot]
+			if bk.n == 0 {
 				b.cur++
 				continue
 			}
 			cur := b.logical(slot)
-			live := parallel.Filter(arr, func(id uint32) bool {
-				return b.d(id) == cur
-			})
-			b.bkts[slot] = nil
+			b.liveCur = cur
+			live := b.scr.live[:0]
+			for _, c := range bk.chunks {
+				live = parallel.FilterAppend(live, c, b.livePred)
+				b.freePut(c)
+			}
+			b.scr.live = live
+			b.resetSlot(bk)
 			if len(live) == 0 {
 				b.cur++
 				continue
@@ -259,13 +408,22 @@ func (b *Par) NextBucket() (ID, []uint32) {
 			b.debugCheckExtract(cur, live)
 			return cur, live
 		}
-		// Open range exhausted: redistribute overflow, if any.
-		over := b.bkts[b.nB]
-		if len(over) == 0 {
+		// Open range exhausted: redistribute overflow, if any. The
+		// chunks are flattened (through the free list) so the anchor
+		// reduce and the reinsert below index one contiguous array.
+		obk := &b.bkts[b.nB]
+		if obk.n == 0 {
 			b.done = true
 			return Nil, nil
 		}
-		b.bkts[b.nB] = nil
+		over := b.chunkAlloc(obk.n)
+		off := 0
+		for _, c := range obk.chunks {
+			copy(over[off:], c)
+			off += len(c)
+			b.freePut(c)
+		}
+		b.resetSlot(obk)
 		// The next range is anchored at the nearest live bucket among
 		// overflow identifiers.
 		var anchor ID
@@ -331,6 +489,7 @@ func (b *Par) NextBucket() (ID, []uint32) {
 			}
 			return id, b.GetBucket(Nil, next)
 		})
+		b.freePut(over)
 	}
 }
 
@@ -339,10 +498,17 @@ func (b *Par) NextBucket() (ID, []uint32) {
 // updates are split into blocks of M = 2048; each block counts its
 // identifiers per destination slot; one scan over the slot-major count
 // matrix yields exact write offsets; a second pass scatters identifiers
-// directly into the (resized-once) destination buckets.
+// directly into a fresh exact-size chunk per destination bucket.
 func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	if k <= 0 || b.done {
 		return
+	}
+	// The block histograms and scatter offsets are uint32; a batch of
+	// 2^32 or more updates would silently wrap the offsets and scatter
+	// identifiers into the wrong buckets. Fail loudly instead, mirroring
+	// the DeltaStepping bucket-id guard.
+	if uint64(k) > math.MaxUint32 {
+		panic(fmt.Sprintf("bucket: UpdateBuckets batch of %d updates overflows the uint32 offset space; split the batch below 2^32 identifiers", k))
 	}
 	b.debugCheckUpdate(k, f)
 	if b.useSemi {
@@ -352,66 +518,49 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	nSlots := b.nB + 1
 	nb := (k + updateBlock - 1) / updateBlock
 	need := nSlots * nb
-	if cap(b.counts) < need {
-		b.counts = make([]uint32, need)
+	if cap(b.scr.counts) < need {
+		b.scr.counts = make([]uint32, need)
 	}
-	counts := b.counts[:need]
-	parallel.For(len(counts), parallel.DefaultGrain, func(i int) { counts[i] = 0 })
+	if cap(b.scr.starts) < nSlots+1 {
+		b.scr.starts = make([]uint32, nSlots+1)
+	}
+	if cap(b.scr.chunks) < nSlots {
+		b.scr.chunks = make([][]uint32, nSlots)
+	}
+	b.upd = updState{
+		k: k, nb: nb, f: f,
+		counts: b.scr.counts[:need],
+		starts: b.scr.starts[:nSlots+1],
+		chunks: b.scr.chunks[:nSlots],
+	}
+	counts, starts := b.upd.counts, b.upd.starts
+	parallel.For(need, parallel.DefaultGrain, b.zeroPass)
 
 	// Pass 1: per-block histograms, laid out slot-major so that one
 	// exclusive scan produces, for every (slot, block), the offset of
 	// that block's contribution within the slot's incoming batch.
-	var skipped int64
-	parallel.For(nb, 1, func(blk int) {
-		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, k)
-		var skip int64
-		for j := lo; j < hi; j++ {
-			_, dest := f(j)
-			if dest == None {
-				skip++
-				continue
-			}
-			counts[int(dest)*nb+blk]++
-		}
-		if skip > 0 {
-			parallel.AddInt64(&skipped, skip)
-		}
-	})
+	parallel.For(nb, 1, b.histPass)
 	total := parallel.Scan(counts, counts)
 
-	// Resize all destination buckets once (§3.2: "in parallel, resize
-	// all buckets that have identifiers moving to them").
-	starts := make([]uint32, nSlots+1)
+	// Allocate each destination bucket's chunk once (§3.2: "in
+	// parallel, resize all buckets that have identifiers moving to
+	// them" — chunking makes the resize a fresh exact-size array
+	// instead of a copying reallocation). The chunk table comes from
+	// the arena; it needs no clearing because pass 2 only reads entries
+	// for slots with incoming identifiers, which the pass above always
+	// writes.
 	for s := 0; s < nSlots; s++ {
 		starts[s] = counts[s*nb]
 	}
 	starts[nSlots] = total
-	oldLens := make([]int, nSlots)
-	parallel.For(nSlots, 8, func(s int) {
-		incoming := int(starts[s+1] - starts[s])
-		if incoming == 0 {
-			return
-		}
-		oldLens[s] = len(b.bkts[s])
-		b.bkts[s] = grow(b.bkts[s], incoming)
-	})
+	parallel.For(nSlots, 8, b.resizePass)
 
 	// Pass 2: scatter. Each block re-evaluates f and writes its
 	// identifiers at block-exclusive offsets, so no synchronization is
 	// needed within a slot.
-	parallel.For(nb, 1, func(blk int) {
-		lo, hi := blk*updateBlock, min((blk+1)*updateBlock, k)
-		for j := lo; j < hi; j++ {
-			id, dest := f(j)
-			if dest == None {
-				continue
-			}
-			s := int(dest)
-			off := counts[s*nb+blk]
-			counts[s*nb+blk] = off + 1
-			b.bkts[s][oldLens[s]+int(off-starts[s])] = id
-		}
-	})
+	parallel.For(nb, 1, b.scatterPass)
+	skipped := b.upd.skipped
+	b.upd.f = nil
 	atomic.AddInt64(&b.stats.Moved, int64(total))
 	atomic.AddInt64(&b.stats.Skipped, skipped)
 	b.rec.Add(obs.CtrBucketMoved, int64(total))
@@ -421,10 +570,10 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 
 // updateSemisort is the §3.2 update algorithm: build (destination,
 // identifier) pairs, semisort by destination, locate group boundaries,
-// then copy each contiguous group into its (resized-once) bucket.
+// then copy each contiguous group into a fresh chunk of its bucket.
 func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 	type pair = semisort.Pair[uint32]
-	pairs := parallel.MapFilter(k, func(j int) (pair, bool) {
+	pairs := parallel.MapFilterInto(b.scr.pairs, k, func(j int) (pair, bool) {
 		id, dest := f(j)
 		if dest == None {
 			parallel.AddInt64(&b.stats.Skipped, 1)
@@ -432,11 +581,16 @@ func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 		}
 		return pair{Key: uint32(dest), Value: id}, true
 	})
+	b.scr.pairs = pairs
 	if len(pairs) == 0 {
 		b.debugCheckUpdateTotals(k, 0, int64(k))
 		return
 	}
-	sorted := semisort.Pairs(pairs)
+	if cap(b.scr.sorted) < len(pairs) {
+		b.scr.sorted = make([]pair, len(pairs))
+	}
+	sorted := b.scr.sorted[:len(pairs)]
+	semisort.PairsInto(sorted, pairs)
 	starts := semisort.GroupStarts(sorted)
 	// Resize each destination bucket once, then copy its contiguous
 	// group in parallel.
@@ -447,9 +601,10 @@ func (b *Par) updateSemisort(k int, f func(j int) (uint32, Dest)) {
 			hi = int(starts[gi+1])
 		}
 		s := int(sorted[lo].Key)
-		old := len(b.bkts[s])
-		b.bkts[s] = grow(b.bkts[s], hi-lo)
-		dst := b.bkts[s][old:]
+		dst := b.chunkAlloc(hi - lo)
+		bk := &b.bkts[s]
+		bk.chunks = append(bk.chunks, dst)
+		bk.n += hi - lo
 		for j := lo; j < hi; j++ {
 			dst[j-lo] = sorted[j].Value
 		}
@@ -467,16 +622,100 @@ func (b *Par) Stats() Stats { return b.stats.load() }
 // CurrentRange reports the open range and traversal position; the tests
 // use it to assert the §3.3 overflow behaviour.
 func (b *Par) CurrentRange() (lo, hi ID, overflow int) {
-	return b.rangeLo, b.rangeHi, len(b.bkts[b.nB])
+	return b.rangeLo, b.rangeHi, b.bkts[b.nB].n
 }
 
-// grow extends s by k zero elements, amortizing reallocation doubling.
-func grow(s []uint32, k int) []uint32 {
-	need := len(s) + k
-	if need <= cap(s) {
-		return s[:need]
+// resetSlot empties a slot whose chunks have all been handed to
+// freePut, clearing the chunk pointers so the retained header array
+// does not pin the recycled chunks against eviction from the free list.
+func (b *Par) resetSlot(bk *chunkedBucket) {
+	for i := range bk.chunks {
+		bk.chunks[i] = nil
 	}
-	ns := make([]uint32, need, max(need, 2*cap(s)))
-	copy(ns, s)
-	return ns
+	bk.chunks = bk.chunks[:0]
+	bk.n = 0
+}
+
+// chunkAlloc returns a length-n array for an overflow chunk (or the
+// redistribution flatten), preferring a recycled one. Chunks are sized
+// exactly: they are written once and never appended to, so they need
+// no growth slack.
+func (b *Par) chunkAlloc(n int) []uint32 {
+	if s := b.freeGet(n); s != nil {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}
+
+// freePut recycles a spent identifier array (an emptied bucket slot, a
+// drained overflow batch, or an array displaced by grow) for later grow
+// calls to reuse.
+func (b *Par) freePut(s []uint32) {
+	if cap(s) == 0 {
+		return
+	}
+	cls := bits.Len(uint(cap(s))) - 1
+	b.freeMu.Lock()
+	defer b.freeMu.Unlock()
+	if b.scr.freeCount >= maxFreeArrays {
+		// Full: displace an array from the smallest nonempty class if
+		// this one is strictly larger, so the pool converges on the
+		// arrays most likely to satisfy future requests.
+		low := -1
+		for i := range b.scr.free {
+			if len(b.scr.free[i]) > 0 {
+				low = i
+				break
+			}
+		}
+		if low < 0 || low >= cls {
+			return
+		}
+		l := b.scr.free[low]
+		l[len(l)-1] = nil
+		b.scr.free[low] = l[:len(l)-1]
+		b.scr.freeCount--
+	}
+	b.scr.free[cls] = append(b.scr.free[cls], s[:0])
+	b.scr.freeCount++
+}
+
+// freeGet returns a recycled array with capacity at least need, or nil.
+// Approximate best fit: the first nonempty class at or above need's
+// ceiling class wins, and classes more than 8x oversized are left for
+// the large requests only they can serve.
+func (b *Par) freeGet(need int) []uint32 {
+	if need <= 0 {
+		return nil
+	}
+	c0 := bits.Len(uint(need - 1))
+	b.freeMu.Lock()
+	defer b.freeMu.Unlock()
+	// Class c0-1 straddles need: its arrays have cap in [2^(c0-1),
+	// 2^c0), some of which suffice. Check the most recently freed few —
+	// the common hit is a just-recycled array of nearly the same size
+	// (e.g. successive overflow redistributions).
+	if cls := c0 - 1; cls >= 0 {
+		l := b.scr.free[cls]
+		for i := len(l) - 1; i >= 0 && i >= len(l)-8; i-- {
+			if cap(l[i]) >= need {
+				s := l[i]
+				l[i] = l[len(l)-1]
+				l[len(l)-1] = nil
+				b.scr.free[cls] = l[:len(l)-1]
+				b.scr.freeCount--
+				return s
+			}
+		}
+	}
+	for cls := c0; cls < len(b.scr.free) && cls <= c0+3; cls++ {
+		if l := b.scr.free[cls]; len(l) > 0 {
+			s := l[len(l)-1]
+			l[len(l)-1] = nil
+			b.scr.free[cls] = l[:len(l)-1]
+			b.scr.freeCount--
+			return s
+		}
+	}
+	return nil
 }

@@ -48,6 +48,41 @@ func TimeMedian(reps int, f func()) Sample {
 	}
 }
 
+// AllocSample summarizes allocator traffic per run of a workload,
+// measured with runtime.ReadMemStats deltas (total bytes and object
+// counts, the same quantities `go test -benchmem` reports).
+type AllocSample struct {
+	// BytesPerOp is the average heap bytes allocated per run.
+	BytesPerOp int64
+	// AllocsPerOp is the average number of heap objects allocated per
+	// run.
+	AllocsPerOp int64
+}
+
+// MeasureAlloc runs f once to warm pools, caches and arenas, then
+// measures the allocator traffic of reps further runs. Per-op figures
+// are averages, so one-time growth that survives the warm-up is
+// amortized — which is exactly the steady-state quantity the
+// allocation-free hot-path work targets. Not concurrency-safe: nothing
+// else may allocate significantly while it runs.
+func MeasureAlloc(reps int, f func()) AllocSample {
+	if reps < 1 {
+		reps = 1
+	}
+	f()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return AllocSample{
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(reps),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(reps),
+	}
+}
+
 // ThreadCounts returns the GOMAXPROCS values the sweeps use: powers of
 // two up to the machine's CPU count (always including 1 and the full
 // count). On a 1-CPU machine this is just {1}; the sweep code is the

@@ -99,9 +99,13 @@ func edgeMapSparse(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
 		})
 		return Empty(n)
 	}
-	// One output buffer per worker keeps allocation proportional to the
-	// output frontier (the §5 optimization), not to the source count.
-	parts := make([][]graph.Vertex, parallel.Procs())
+	// One output buffer per worker keeps the memory written proportional
+	// to the output frontier (the §5 optimization), not to the source
+	// count. The buffers come from the scratch pool and keep their
+	// capacity across calls, so a round-based traversal stops allocating
+	// once the per-worker high-water marks are reached.
+	pb := workerParts[graph.Vertex](parallel.Procs())
+	parts := pb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		local := parts[worker]
 		for i := lo; i < hi; i++ {
@@ -115,7 +119,21 @@ func edgeMapSparse(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
 		}
 		parts[worker] = local
 	})
-	return FromSparse(n, flatten(parts))
+	out := FromSparse(n, flatten(parts))
+	pb.Release()
+	return out
+}
+
+// workerParts borrows a buffer-of-buffers (one slice per worker) from
+// the scratch pool, resetting every inner slice to empty while keeping
+// its capacity. flatten copies the survivors out, so the scratch can be
+// released before the result escapes.
+func workerParts[T any](p int) *parallel.Scratch[[]T] {
+	pb := parallel.GetScratch[[]T](p)
+	for i := range pb.S {
+		pb.S[i] = pb.S[i][:0]
+	}
+	return pb
 }
 
 // flatten concatenates per-worker buffers into one slice.
@@ -170,8 +188,9 @@ func EdgeMapTagged[T any](g graph.Graph, u VertexSubset, c func(v graph.Vertex) 
 	ids := u.Sparse()
 	n := g.NumVertices()
 	p := parallel.Procs()
-	idParts := make([][]graph.Vertex, p)
-	valParts := make([][]T, p)
+	ib := workerParts[graph.Vertex](p)
+	vb := workerParts[T](p)
+	idParts, valParts := ib.S, vb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		localIDs := idParts[worker]
 		localVals := valParts[worker]
@@ -190,7 +209,10 @@ func EdgeMapTagged[T any](g graph.Graph, u VertexSubset, c func(v graph.Vertex) 
 		idParts[worker] = localIDs
 		valParts[worker] = localVals
 	})
-	return NewTagged(n, flatten(idParts), flatten(valParts))
+	out := NewTagged(n, flatten(idParts), flatten(valParts))
+	ib.Release()
+	vb.Release()
+	return out
 }
 
 // EdgeMapCount implements the paper's edgeMapSum (§2.1: edgeMapReduce
@@ -209,7 +231,8 @@ func EdgeMapCount(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
 	scratch.ensure(n)
 	cnt := scratch.counts
 	ids := u.Sparse()
-	parts := make([][]graph.Vertex, parallel.Procs())
+	pb := workerParts[graph.Vertex](parallel.Procs())
+	parts := pb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		claimed := parts[worker]
 		for i := lo; i < hi; i++ {
@@ -226,6 +249,7 @@ func EdgeMapCount(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
 		parts[worker] = claimed
 	})
 	outIDs := flatten(parts)
+	pb.Release()
 	outVals := make([]uint32, len(outIDs))
 	parallel.For(len(outIDs), parallel.DefaultGrain, func(i int) {
 		v := outIDs[i]

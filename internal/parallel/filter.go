@@ -1,11 +1,99 @@
 package parallel
 
-import "sync"
+// filterBlocks mirrors scanBlocks for the filter kernels.
+func filterBlocks(n int) (nb, blockSize int) {
+	nb = numBlocks(n, DefaultGrain)
+	if p := 4 * Procs(); nb > p {
+		nb = p
+	}
+	blockSize = (n + nb - 1) / nb
+	nb = (n + blockSize - 1) / blockSize
+	return nb, blockSize
+}
 
 // Filter returns the elements of src satisfying pred, in their original
 // order (the Filter primitive of §2). Work O(n), depth O(n/P + P).
 func Filter[T any](src []T, pred func(T) bool) []T {
 	return FilterIndex(src, func(_ int, v T) bool { return pred(v) })
+}
+
+// FilterInto filters src into buf's storage and returns the survivors
+// in their original order. buf's contents are overwritten and its
+// backing array is grown as needed (only its capacity matters); buf and
+// src must not overlap. Callers that filter every round pass the same
+// buffer back in and reach a steady state with zero allocations — the
+// bucket structure's NextBucket compaction is the motivating use.
+func FilterInto[T any](buf, src []T, pred func(T) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return buf[:0]
+	}
+	if cap(buf) < n {
+		buf = make([]T, 0, n)
+	}
+	nb, blockSize := filterBlocks(n)
+	if nb == 1 || Procs() == 1 {
+		out := buf[:0]
+		for _, v := range src {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	cb := GetScratch[int](nb)
+	counts := cb.S
+	For(nb, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(src[i]) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := 0
+	for b := 0; b < nb; b++ {
+		c := counts[b]
+		counts[b] = total
+		total += c
+	}
+	out := buf[:total]
+	For(nb, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		o := counts[b]
+		for i := lo; i < hi; i++ {
+			if pred(src[i]) {
+				out[o] = src[i]
+				o++
+			}
+		}
+	})
+	cb.Release()
+	return out
+}
+
+// FilterAppend appends src's survivors to buf (after its existing
+// elements, growing the backing array as needed) and returns the
+// extended slice. buf and src must not overlap. Like FilterInto it
+// reaches a zero-allocation steady state when the caller passes the
+// same buffer back every round; the bucket structure uses it to compact
+// a slot stored as multiple chunks into one contiguous result.
+func FilterAppend[T any](buf, src []T, pred func(T) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return buf
+	}
+	base := len(buf)
+	if cap(buf) < base+n {
+		grown := make([]T, base, max(base+n, 2*cap(buf)))
+		copy(grown, buf)
+		buf = grown
+	}
+	out := FilterInto(buf[base:base:cap(buf)], src, pred)
+	return buf[:base+len(out)]
 }
 
 // FilterIndex is Filter where the predicate also sees the element index.
@@ -16,12 +104,7 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 	if n == 0 {
 		return nil
 	}
-	nb := numBlocks(n, DefaultGrain)
-	if p := 4 * Procs(); nb > p {
-		nb = p
-	}
-	blockSize := (n + nb - 1) / nb
-	nb = (n + blockSize - 1) / blockSize
+	nb, blockSize := filterBlocks(n)
 	if nb == 1 || Procs() == 1 {
 		out := make([]T, 0, n/4+4)
 		for i, v := range src {
@@ -33,23 +116,18 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 	}
 
 	// Pass 1: count survivors per block.
-	counts := make([]int, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
+	cb := GetScratch[int](nb)
+	counts := cb.S
+	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			c := 0
-			for i := lo; i < hi; i++ {
-				if pred(i, src[i]) {
-					c++
-				}
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(i, src[i]) {
+				c++
 			}
-			counts[b] = c
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		}
+		counts[b] = c
+	})
 
 	total := 0
 	for b := 0; b < nb; b++ {
@@ -60,21 +138,17 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 	out := make([]T, total)
 
 	// Pass 2: each block copies its survivors to its reserved range.
-	for b := 0; b < nb; b++ {
+	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			o := counts[b]
-			for i := lo; i < hi; i++ {
-				if pred(i, src[i]) {
-					out[o] = src[i]
-					o++
-				}
+		o := counts[b]
+		for i := lo; i < hi; i++ {
+			if pred(i, src[i]) {
+				out[o] = src[i]
+				o++
 			}
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
+	cb.Release()
 	return out
 }
 
@@ -82,9 +156,12 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 // which pred(i) is true. It is the "pack" step used after mapping an
 // indicator function, e.g. to find bucket boundaries after a semisort.
 func PackIndices(n int, pred func(i int) bool) []uint32 {
-	idx := make([]uint32, n)
+	ib := GetScratch[uint32](n)
+	idx := ib.S
 	For(n, DefaultGrain, func(i int) { idx[i] = uint32(i) })
-	return FilterIndex(idx, func(i int, _ uint32) bool { return pred(i) })
+	out := FilterIndex(idx, func(i int, _ uint32) bool { return pred(i) })
+	ib.Release()
+	return out
 }
 
 // MapFilter applies f to every index in [0, n) and keeps the values for
@@ -94,45 +171,68 @@ func MapFilter[T any](n int, f func(i int) (T, bool)) []T {
 	if n == 0 {
 		return nil
 	}
-	nb := numBlocks(n, DefaultGrain)
-	if p := 4 * Procs(); nb > p {
-		nb = p
+	out, _ := mapFilterInto[T](nil, n, f)
+	return out
+}
+
+// MapFilterInto is MapFilter writing into buf's storage (contents
+// overwritten, backing array grown as needed). Round-based callers pass
+// the returned slice back in next round to reach an allocation-free
+// steady state.
+func MapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) []T {
+	if n == 0 {
+		return buf[:0]
 	}
-	blockSize := (n + nb - 1) / nb
-	nb = (n + blockSize - 1) / blockSize
+	out, _ := mapFilterInto(buf, n, f)
+	return out
+}
+
+// mapFilterInto collects the survivors of f over [0, n), preferring
+// buf's storage when it is large enough. It reports whether the result
+// lives in buf.
+func mapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) ([]T, bool) {
+	nb, blockSize := filterBlocks(n)
 	if nb == 1 || Procs() == 1 {
-		out := make([]T, 0, n/4+4)
+		out := buf[:0]
+		if cap(out) == 0 {
+			out = make([]T, 0, n/4+4)
+		}
 		for i := 0; i < n; i++ {
 			if v, ok := f(i); ok {
 				out = append(out, v)
 			}
 		}
-		return out
+		return out, true
 	}
-	parts := make([][]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
+	// Per-block survivor buffers come from the pool and keep their
+	// capacity across calls, so repeated MapFilters stop allocating once
+	// the per-block high-water marks are reached.
+	pb := GetScratch[[]T](nb)
+	parts := pb.S
+	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			var part []T
-			for i := lo; i < hi; i++ {
-				if v, ok := f(i); ok {
-					part = append(part, v)
-				}
+		part := parts[b][:0]
+		for i := lo; i < hi; i++ {
+			if v, ok := f(i); ok {
+				part = append(part, v)
 			}
-			parts[b] = part
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		}
+		parts[b] = part
+	})
 	total := 0
-	for _, p := range parts {
-		total += len(p)
+	for b := 0; b < nb; b++ {
+		total += len(parts[b])
 	}
-	out := make([]T, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
+	var out []T
+	fromBuf := cap(buf) >= total
+	if fromBuf {
+		out = buf[:0]
+	} else {
+		out = make([]T, 0, total)
 	}
-	return out
+	for b := 0; b < nb; b++ {
+		out = append(out, parts[b]...)
+	}
+	pb.Release()
+	return out, fromBuf
 }

@@ -81,7 +81,19 @@ func Blocked(n, grain int, body func(lo, hi int)) {
 }
 
 // For runs body(i) for every i in [0, n) in parallel with the given grain.
+// The sequential case returns before the block-adapter closure literal is
+// evaluated, so single-threaded callers pay no allocation for it.
 func For(n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	nb := numBlocks(n, grain)
+	if Procs() == 1 || nb == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	Blocked(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)

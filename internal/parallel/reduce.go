@@ -1,7 +1,5 @@
 package parallel
 
-import "sync"
-
 // Number is the constraint satisfied by the numeric types the sequence
 // primitives operate on. (Float types are deliberately excluded from Scan
 // because parallel reassociation changes float results; none of the
@@ -32,29 +30,21 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	}
 	blockSize := (n + nb - 1) / nb
 	nb = (n + blockSize - 1) / blockSize
-	partial := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		lo := b * blockSize
-		hi := lo + blockSize
-		if hi > n {
-			hi = n
+	pb := GetScratch[T](nb)
+	partial := pb.S
+	For(nb, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, f(i))
 		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, f(i))
-			}
-			partial[b] = acc
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		partial[b] = acc
+	})
 	acc := id
 	for _, v := range partial {
 		acc = op(acc, v)
 	}
+	pb.Release()
 	return acc
 }
 

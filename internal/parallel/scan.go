@@ -1,6 +1,19 @@
 package parallel
 
-import "sync"
+import "unsafe"
+
+// scanBlocks computes the block decomposition shared by the scan
+// kernels: at least DefaultGrain items per block and at most 4*Procs()
+// blocks, the same worker cap every other primitive respects.
+func scanBlocks(n int) (nb, blockSize int) {
+	nb = numBlocks(n, DefaultGrain)
+	if p := 4 * Procs(); nb > p {
+		nb = p
+	}
+	blockSize = (n + nb - 1) / nb
+	nb = (n + blockSize - 1) / blockSize
+	return nb, blockSize
+}
 
 // Scan computes the exclusive prefix sum of src into dst and returns the
 // total: dst[i] = src[0] + ... + src[i-1], dst[0] = 0. dst and src may be
@@ -10,7 +23,10 @@ import "sync"
 // The implementation is the standard two-pass blocked scan: a parallel
 // pass computes per-block sums, a short sequential scan combines them into
 // block offsets, and a second parallel pass writes the prefix sums. Work
-// O(n), depth O(n/P + P).
+// O(n), depth O(n/P + P). Both passes run through the blocked-For worker
+// machinery (so the 4*Procs goroutine cap holds) and the per-block sums
+// live in a pooled scratch buffer, so steady-state calls allocate
+// nothing beyond the fork-join bookkeeping.
 func Scan[T Number](dst, src []T) T {
 	n := len(src)
 	if len(dst) != n {
@@ -19,12 +35,7 @@ func Scan[T Number](dst, src []T) T {
 	if n == 0 {
 		return 0
 	}
-	nb := numBlocks(n, DefaultGrain)
-	if p := 4 * Procs(); nb > p {
-		nb = p
-	}
-	blockSize := (n + nb - 1) / nb
-	nb = (n + blockSize - 1) / blockSize
+	nb, blockSize := scanBlocks(n)
 	if nb == 1 || Procs() == 1 {
 		var acc T
 		for i := 0; i < n; i++ {
@@ -35,21 +46,16 @@ func Scan[T Number](dst, src []T) T {
 		return acc
 	}
 
-	sums := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
+	sb := GetScratch[T](nb)
+	sums := sb.S
+	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			var acc T
-			for i := lo; i < hi; i++ {
-				acc += src[i]
-			}
-			sums[b] = acc
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		var acc T
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+		}
+		sums[b] = acc
+	})
 
 	var total T
 	for b := 0; b < nb; b++ {
@@ -58,25 +64,28 @@ func Scan[T Number](dst, src []T) T {
 		total += s
 	}
 
-	for b := 0; b < nb; b++ {
+	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := sums[b]
-			for i := lo; i < hi; i++ {
-				v := src[i]
-				dst[i] = acc
-				acc += v
-			}
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = acc
+			acc += v
+		}
+	})
+	sb.Release()
 	return total
 }
 
 // ScanInclusive computes the inclusive prefix sum of src into dst and
 // returns the total: dst[i] = src[0] + ... + src[i].
+//
+// When dst and src are the same slice, or do not overlap at all, the
+// scan runs directly into dst with no O(n) scratch: each block reads
+// only its own range of src and writes only the same index range of
+// dst, so in-place operation is race-free. Only a partial overlap
+// (dst and src sharing memory at shifted offsets) falls back to a
+// pooled scratch copy.
 func ScanInclusive[T Number](dst, src []T) T {
 	n := len(src)
 	if len(dst) != n {
@@ -85,12 +94,73 @@ func ScanInclusive[T Number](dst, src []T) T {
 	if n == 0 {
 		return 0
 	}
-	// Exclusive scan into a scratch slice, then add src back in. The
-	// scratch copy keeps the kernel correct when dst and src alias.
-	tmp := make([]T, n)
-	total := Scan(tmp, src)
-	For(n, DefaultGrain, func(i int) {
-		dst[i] = tmp[i] + src[i]
+	if &dst[0] == &src[0] || !slicesOverlap(dst, src) {
+		return scanInclusiveInto(dst, src)
+	}
+	// Partial overlap: writing dst[i] could clobber an src[j] (j != i)
+	// another block has yet to read. Copy src out of harm's way first.
+	tb := GetScratch[T](n)
+	tmp := tb.S
+	Blocked(n, DefaultGrain, func(lo, hi int) {
+		copy(tmp[lo:hi], src[lo:hi])
 	})
+	total := scanInclusiveInto(dst, tmp)
+	tb.Release()
 	return total
+}
+
+// scanInclusiveInto is the inclusive two-pass blocked scan. It requires
+// that dst and src are either identical or fully disjoint: block b reads
+// src[lo:hi] and writes dst[lo:hi] only.
+func scanInclusiveInto[T Number](dst, src []T) T {
+	n := len(src)
+	nb, blockSize := scanBlocks(n)
+	if nb == 1 || Procs() == 1 {
+		var acc T
+		for i := 0; i < n; i++ {
+			acc += src[i]
+			dst[i] = acc
+		}
+		return acc
+	}
+
+	sb := GetScratch[T](nb)
+	sums := sb.S
+	For(nb, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		var acc T
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+		}
+		sums[b] = acc
+	})
+
+	var total T
+	for b := 0; b < nb; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+
+	For(nb, 1, func(b int) {
+		lo, hi := b*blockSize, min((b+1)*blockSize, n)
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+			dst[i] = acc
+		}
+	})
+	sb.Release()
+	return total
+}
+
+// slicesOverlap reports whether a and b share any backing memory.
+func slicesOverlap[T any](a, b []T) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	sz := unsafe.Sizeof(a[0])
+	a0 := uintptr(unsafe.Pointer(&a[0]))
+	b0 := uintptr(unsafe.Pointer(&b[0]))
+	return a0 < b0+uintptr(len(b))*sz && b0 < a0+uintptr(len(a))*sz
 }

@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"reflect"
+	"sync"
+)
+
+// This file implements the pooled scratch buffers behind the
+// allocation-free steady state of the sequence primitives. Every
+// primitive that needs per-call temporary storage (block sums in Scan,
+// per-block survivor counts in Filter, per-block output buffers in
+// MapFilter, partial results in Reduce) borrows it from a type-indexed
+// sync.Pool instead of allocating, so a hot loop that calls the same
+// primitive every round reaches a steady state with no per-round
+// garbage — the property the paper's work bounds implicitly assume and
+// GBBS identifies as a large constant-factor win in practice.
+//
+// Buffers are handed out as *Scratch[T] rather than []T so the
+// round-trip through the pool moves a single pointer and never re-boxes
+// a slice header (which would itself allocate).
+
+// Scratch is a pooled scratch buffer. S has the length requested from
+// GetScratch and arbitrary contents; callers that need zeroed memory
+// must clear it themselves.
+type Scratch[T any] struct {
+	S []T
+}
+
+// scratchPools maps the element type of a scratch buffer to the
+// sync.Pool holding buffers of that type. The per-type lookup is one
+// allocation-free sync.Map read.
+var scratchPools sync.Map // reflect.Type -> *sync.Pool
+
+func poolOf[T any]() *sync.Pool {
+	key := reflect.TypeFor[T]()
+	if p, ok := scratchPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := scratchPools.LoadOrStore(key, &sync.Pool{
+		New: func() any { return new(Scratch[T]) },
+	})
+	return p.(*sync.Pool)
+}
+
+// GetScratch borrows a scratch buffer of length n (contents arbitrary)
+// from the pool for T. Release it when done; a buffer that is never
+// released is simply garbage-collected.
+func GetScratch[T any](n int) *Scratch[T] {
+	s := poolOf[T]().Get().(*Scratch[T])
+	if cap(s.S) < n {
+		s.S = make([]T, n)
+	}
+	s.S = s.S[:n]
+	return s
+}
+
+// Release returns the buffer to its pool. The caller must not use S
+// after releasing.
+func (s *Scratch[T]) Release() {
+	if s == nil {
+		return
+	}
+	poolOf[T]().Put(s)
+}

@@ -89,7 +89,9 @@ func PairsInto[V any](out, in []Pair[V]) {
 	// this layout yields, for every (partition, block), the exact start
 	// offset of that block's contribution — the standard stable radix
 	// scatter.
-	counts := make([]uint32, nbkt*nb)
+	cb := parallel.GetScratch[uint32](nbkt * nb)
+	counts := cb.S
+	parallel.For(len(counts), parallel.DefaultGrain, func(i int) { counts[i] = 0 })
 	parallel.For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
 		for i := lo; i < hi; i++ {
@@ -98,8 +100,11 @@ func PairsInto[V any](out, in []Pair[V]) {
 	})
 	parallel.Scan(counts, counts)
 
-	offsets := make([]uint32, len(counts))
-	copy(offsets, counts)
+	ob := parallel.GetScratch[uint32](len(counts))
+	offsets := ob.S
+	parallel.Blocked(len(counts), parallel.DefaultGrain, func(lo, hi int) {
+		copy(offsets[lo:hi], counts[lo:hi])
+	})
 	parallel.For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
 		for i := lo; i < hi; i++ {
@@ -129,6 +134,8 @@ func PairsInto[V any](out, in []Pair[V]) {
 			return 0
 		})
 	})
+	ob.Release()
+	cb.Release()
 }
 
 // GroupStarts returns the start index of every maximal run of equal keys
