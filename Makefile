@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race debug fuzz bench bench-smoke bench-go check
+.PHONY: all build test vet fmt lint race debug fuzz bench bench-smoke bench-go check
 
 all: check
 
@@ -24,9 +24,21 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# lint runs the stock toolchain passes (go vet: copylocks, atomic,
+# nilfunc, ...) plus julvet, the in-repo multichecker that enforces the
+# framework's concurrency and arena contracts (DESIGN.md §8):
+# atomicmix, atomicalign, arenaalias, scratchpair, tagdrift,
+# norandtime. The tagged invocations re-analyze the tree with the other
+# half of each race/julienne_debug file pair active.
+lint: vet
+	$(GO) run ./cmd/julvet ./...
+	$(GO) run ./cmd/julvet -tags race ./...
+	$(GO) run ./cmd/julvet -tags julienne_debug ./...
+
 race:
 	$(GO) test -race -short ./internal/bucket/... ./internal/obs/... \
-		./internal/algo/... ./internal/ligra/... ./internal/proptest/...
+		./internal/algo/... ./internal/ligra/... ./internal/proptest/... \
+		./internal/semisort/... ./internal/bench/...
 
 # debug builds with the julienne_debug tag, which compiles invariant
 # assertions into the bucket structure and Ligra layer, then runs the
@@ -63,5 +75,5 @@ bench-smoke:
 bench-go:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: build test vet fmt race debug
+check: build test lint fmt race debug
 	@echo "check: ok"

@@ -11,11 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"julienne/internal/algo/densest"
 	"julienne/internal/cli"
 	"julienne/internal/graph"
+	"julienne/internal/harness"
 )
 
 func main() {
@@ -34,18 +34,18 @@ func main() {
 	}
 	fmt.Println(cli.Describe(g))
 
-	start := time.Now()
 	var res densest.Result
-	switch *impl {
-	case "charikar":
-		res = densest.Charikar(g)
-	case "batch":
-		res = densest.PeelBatch(g, *eps)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
-		os.Exit(2)
-	}
-	elapsed := time.Since(start)
+	elapsed := harness.Time(func() {
+		switch *impl {
+		case "charikar":
+			res = densest.Charikar(g)
+		case "batch":
+			res = densest.PeelBatch(g, *eps)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
+			os.Exit(2)
+		}
+	})
 
 	whole := float64(g.NumEdges()) / 2 / float64(max(g.NumVertices(), 1))
 	fmt.Printf("impl=%s time=%v rounds=%d\n", *impl, elapsed, res.Rounds)

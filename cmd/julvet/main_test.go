@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"julienne/internal/analysis"
+)
+
+// capture runs the julvet driver with the given arguments, returning
+// its exit code and the two output streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	open := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	outF, errF := open("stdout"), open("stderr")
+	defer outF.Close()
+	defer errF.Close()
+	code := run(args, outF, errF)
+	read := func(f *os.File) string {
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	return code, read(outF), read(errF)
+}
+
+// TestListRegistersAllAnalyzers pins that the multichecker builds with
+// the full suite registered: every analyzer in the registry appears in
+// -list output.
+func TestListRegistersAllAnalyzers(t *testing.T) {
+	code, out, stderr := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("julvet -list exited %d, stderr:\n%s", code, stderr)
+	}
+	all := analysis.All()
+	if len(all) < 6 {
+		t.Fatalf("registry has %d analyzers, want at least the 6 from the issue", len(all))
+	}
+	for _, a := range all {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestKnownBadFixtureFails pins the end-to-end contract: julvet exits
+// non-zero on a tree with violations and names the analyzer in its
+// output.
+func TestKnownBadFixtureFails(t *testing.T) {
+	code, out, stderr := capture(t, "-dir", "testdata/src")
+	if code != 1 {
+		t.Fatalf("julvet -dir testdata/src exited %d, want 1; stdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	for _, frag := range []string{"[julvet/norandtime]", "bad.go"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("diagnostic output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestAnalyzerSubset pins -run: restricting to an analyzer that has no
+// findings on the bad fixture must exit clean.
+func TestAnalyzerSubset(t *testing.T) {
+	code, out, stderr := capture(t, "-run", "arenaalias", "-dir", "testdata/src")
+	if code != 0 {
+		t.Fatalf("julvet -run arenaalias exited %d; stdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}
+
+// TestUnknownAnalyzer pins the usage-error exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, stderr := capture(t, "-run", "nosuch")
+	if code != 2 {
+		t.Fatalf("julvet -run nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message:\n%s", stderr)
+	}
+}

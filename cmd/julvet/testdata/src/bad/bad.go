@@ -1,0 +1,13 @@
+// Known-bad fixture for the julvet smoke test: the multichecker must
+// exit non-zero when run over this tree.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jittery() time.Time {
+	_ = rand.Int63()
+	return time.Now()
+}

@@ -17,11 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"julienne/internal/algo/kcore"
 	"julienne/internal/cli"
 	"julienne/internal/graph"
+	"julienne/internal/harness"
 )
 
 func main() {
@@ -43,23 +43,23 @@ func main() {
 	fmt.Println(cli.Describe(g))
 
 	rec := of.Recorder()
-	start := time.Now()
 	var cores []uint32
 	var rounds int64 = -1
-	switch *impl {
-	case "julienne":
-		res := kcore.Coreness(g, kcore.Options{Recorder: rec})
-		cores, rounds = res.Coreness, res.Rounds
-	case "ligra":
-		res := kcore.CorenessLigra(g)
-		cores, rounds = res.Coreness, res.Rounds
-	case "bz":
-		cores = kcore.CorenessBZ(g)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
-		os.Exit(2)
-	}
-	elapsed := time.Since(start)
+	elapsed := harness.Time(func() {
+		switch *impl {
+		case "julienne":
+			res := kcore.Coreness(g, kcore.Options{Recorder: rec})
+			cores, rounds = res.Coreness, res.Rounds
+		case "ligra":
+			res := kcore.CorenessLigra(g)
+			cores, rounds = res.Coreness, res.Rounds
+		case "bz":
+			cores = kcore.CorenessBZ(g)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
+			os.Exit(2)
+		}
+	})
 
 	kmax := kcore.MaxCoreness(cores)
 	counts := make([]int, kmax+1)

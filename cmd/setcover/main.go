@@ -13,13 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"julienne/internal/algo/setcover"
 	"julienne/internal/cli"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
 	"julienne/internal/graphio"
+	"julienne/internal/harness"
 )
 
 func main() {
@@ -50,20 +50,20 @@ func main() {
 		numSets, g.NumVertices()-numSets, g.NumEdges())
 
 	opt := setcover.Options{Epsilon: *eps, Recorder: of.Recorder()}
-	start := time.Now()
 	var res setcover.Result
-	switch *impl {
-	case "julienne":
-		res = setcover.Approx(g, numSets, opt)
-	case "pbbs":
-		res = setcover.ApproxPBBS(g, numSets, opt)
-	case "greedy":
-		res = setcover.Greedy(g, numSets)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
-		os.Exit(2)
-	}
-	elapsed := time.Since(start)
+	elapsed := harness.Time(func() {
+		switch *impl {
+		case "julienne":
+			res = setcover.Approx(g, numSets, opt)
+		case "pbbs":
+			res = setcover.ApproxPBBS(g, numSets, opt)
+		case "greedy":
+			res = setcover.Greedy(g, numSets)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
+			os.Exit(2)
+		}
+	})
 
 	if err := setcover.Validate(g, numSets, res.InCover); err != nil {
 		fmt.Fprintln(os.Stderr, "INVALID COVER:", err)

@@ -15,12 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"julienne/internal/algo/sssp"
 	"julienne/internal/cli"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
+	"julienne/internal/harness"
 )
 
 func main() {
@@ -43,29 +43,29 @@ func main() {
 
 	rec := of.Recorder()
 	opt := sssp.Options{Recorder: rec}
-	start := time.Now()
 	var res sssp.Result
 	s := graph.Vertex(*src)
-	switch *algo {
-	case "wbfs":
-		res = sssp.WBFS(g, s, opt)
-	case "delta":
-		res = sssp.DeltaStepping(g, s, *delta, opt)
-	case "delta-lh":
-		res = sssp.DeltaSteppingLH(g, s, *delta, opt)
-	case "gap-bins":
-		res = sssp.DeltaSteppingBins(g, s, *delta)
-	case "bellman-ford":
-		res = sssp.BellmanFord(g, s)
-	case "dijkstra":
-		res = sssp.DijkstraHeap(g, s)
-	case "dial":
-		res = sssp.Dial(g, s)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
-		os.Exit(2)
-	}
-	elapsed := time.Since(start)
+	elapsed := harness.Time(func() {
+		switch *algo {
+		case "wbfs":
+			res = sssp.WBFS(g, s, opt)
+		case "delta":
+			res = sssp.DeltaStepping(g, s, *delta, opt)
+		case "delta-lh":
+			res = sssp.DeltaSteppingLH(g, s, *delta, opt)
+		case "gap-bins":
+			res = sssp.DeltaSteppingBins(g, s, *delta)
+		case "bellman-ford":
+			res = sssp.BellmanFord(g, s)
+		case "dijkstra":
+			res = sssp.DijkstraHeap(g, s)
+		case "dial":
+			res = sssp.Dial(g, s)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+			os.Exit(2)
+		}
+	})
 
 	reached, maxDist, sum := 0, int64(0), int64(0)
 	for _, d := range res.Dist {

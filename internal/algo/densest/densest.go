@@ -122,13 +122,12 @@ func Charikar(g graph.Graph) Result {
 			dest := b.GetBucket(induced, newD)
 			return dest, dest != bucket.None
 		})
-		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
-			return rebucket.IDs[j], rebucket.Vals[j]
-		})
 		// Edges internal to the peeled set fall too (each counted once
 		// per endpoint among peeled vertices, halved), plus edges to
 		// survivors (counted once, above). Recompute exactly: an edge
-		// dies when its first endpoint dies.
+		// dies when its first endpoint dies. This must read ids before
+		// UpdateBuckets below: the slice aliases the bucket arena,
+		// which that call invalidates.
 		internal := parallel.Sum(len(ids), 0, func(i int) int64 {
 			var c int64
 			g.OutNeighbors(ids[i], func(u graph.Vertex, w graph.Weight) bool {
@@ -140,6 +139,9 @@ func Charikar(g graph.Graph) Result {
 			return c
 		})
 		removedEdges += internal / 2
+		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
+			return rebucket.IDs[j], rebucket.Vals[j]
+		})
 		alive -= int64(len(ids))
 		liveEdges -= removedEdges
 		if alive > 0 {

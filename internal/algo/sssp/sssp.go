@@ -50,15 +50,19 @@ const flag uint64 = 1 << 63
 
 // Result carries distances plus the measurements the harness reports.
 type Result struct {
-	// Dist[v] is the shortest-path distance from the source to v, or
-	// Unreachable.
-	Dist []int64
+	// The int64 counters come first so they stay 8-aligned under
+	// 32-bit layout: the parallel relax loops update them with
+	// sync/atomic, which requires 64-bit alignment.
+
 	// Rounds is the number of frontier/bucket rounds executed.
 	Rounds int64
 	// Relaxations counts successful distance improvements.
 	Relaxations int64
 	// EdgesTraversed counts edge visits (frontier out-degrees summed).
 	EdgesTraversed int64
+	// Dist[v] is the shortest-path distance from the source to v, or
+	// Unreachable.
+	Dist []int64
 	// BucketStats is the bucket-structure traffic (bucketed algorithms
 	// only).
 	BucketStats bucket.Stats

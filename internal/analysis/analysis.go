@@ -1,0 +1,199 @@
+// Package analysis is julienne's static-analysis suite: a small,
+// self-contained clone of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the custom analyzers that
+// mechanically enforce the framework's concurrency and arena contracts
+// (see DESIGN.md §8):
+//
+//   - atomicmix:   a field accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere
+//   - arenaalias:  slices returned by NextBucket must not be read past
+//     the next NextBucket/UpdateBuckets call without a copy
+//   - scratchpair: every parallel.GetScratch must be Released on all
+//     return paths
+//   - tagdrift:    build-tag-paired files (race_on/race_off,
+//     debug_on/debug_off) must declare matching signatures
+//   - norandtime:  math/rand and bare time.Now are forbidden outside
+//     the rng/harness/obs plumbing
+//   - atomicalign: 64-bit atomic fields must sit at 64-bit-aligned
+//     offsets under a 32-bit memory layout
+//
+// The framework is built on the standard library alone (go/ast,
+// go/types, and `go list -export` for import resolution) because this
+// repository vendors no third-party modules; the types mirror
+// go/analysis closely enough that the analyzers would port to the real
+// framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package through
+// its Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in suppression
+	// comments (`//lint:ignore julvet/<name> reason`).
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's type-checked files under the active build
+	// configuration.
+	Files []*ast.File
+	// IgnoredFiles are files in the package directory excluded by build
+	// constraints: parsed (with comments) but not type-checked. The
+	// tagdrift analyzer compares these against their active
+	// counterparts.
+	IgnoredFiles []*ast.File
+	Pkg          *types.Package
+	TypesInfo    *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [julvet/%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// ignoreRe matches the suppression directive handled by the driver:
+// `//lint:ignore julvet/<name> <reason>`. A non-empty reason is
+// mandatory — an undocumented suppression is itself reported.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+julvet/([a-z]+)\s*(.*)$`)
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzer string
+	file     string
+	line     int
+	reason   string
+}
+
+// RunAnalyzers applies every analyzer to every package, collects the
+// diagnostics, filters the ones covered by //lint:ignore directives
+// (same line or the line directly below the directive), and returns
+// the survivors sorted by position. Malformed directives (missing
+// reason) are reported as driver diagnostics.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	var sups []suppression
+	for _, pkg := range pkgs {
+		for _, files := range [][]*ast.File{pkg.Files, pkg.IgnoredFiles} {
+			for _, f := range files {
+				s, bad := collectSuppressions(pkg.Fset, f)
+				sups = append(sups, s...)
+				diags = append(diags, bad...)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				IgnoredFiles: pkg.IgnoredFiles,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.Info,
+				diags:        &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer error: %v", err),
+				})
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, sups) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// collectSuppressions parses the //lint:ignore directives of one file.
+// Directives without a reason are returned as diagnostics instead: the
+// whole point of the mechanism is that deviations are documented.
+func collectSuppressions(fset *token.FileSet, f *ast.File) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if strings.TrimSpace(m[2]) == "" {
+				bad = append(bad, Diagnostic{
+					Analyzer: "driver",
+					Pos:      pos,
+					Message:  fmt.Sprintf("lint:ignore julvet/%s directive is missing a reason", m[1]),
+				})
+				continue
+			}
+			sups = append(sups, suppression{
+				analyzer: m[1],
+				file:     pos.Filename,
+				line:     pos.Line,
+				reason:   strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	return sups, bad
+}
+
+// suppressed reports whether d is covered by a directive on its own
+// line or on the line directly above (the two placements gofmt keeps
+// stable for trailing and standalone comments respectively).
+func suppressed(d Diagnostic, sups []suppression) bool {
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
+			continue
+		}
+		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the expectation comments the fixture files carry:
+// `// want "regexp"` with one or more quoted regexps.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` entry: a diagnostic matching re must be
+// reported on this file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunTest loads the GOPATH-style fixture tree at srcRoot, runs the
+// analyzer over the packages whose import paths start with one of the
+// given prefixes, and compares the diagnostics against the fixtures'
+// `// want "regexp"` comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest. Suppression directives
+// are honored, so a fixture can pin the //lint:ignore mechanism by
+// carrying a directive and no want comment.
+func RunTest(t *testing.T, srcRoot string, a *Analyzer, pkgPrefixes ...string) {
+	t.Helper()
+	all, err := LoadDir(srcRoot)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", srcRoot, err)
+	}
+	var pkgs []*Package
+	for _, pkg := range all {
+		for _, prefix := range pkgPrefixes {
+			if pkg.Path == prefix || strings.HasPrefix(pkg.Path, prefix+"/") {
+				pkgs = append(pkgs, pkg)
+				break
+			}
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v under %s", pkgPrefixes, srcRoot)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, files := range [][]*ast.File{pkg.Files, pkg.IgnoredFiles} {
+			for _, f := range files {
+				ws, err := collectWants(pkg.Fset, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+
+	diags := RunAnalyzers(pkgs, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+			}
+			for _, arg := range args {
+				// The quoted argument is a Go string literal, as in
+				// x/tools analysistest: `\\.` in the source is the
+				// regexp `\.`.
+				lit, err := strconv.Unquote(arg[0])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want literal %s: %v", pos, arg[0], err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ArenaAlias enforces the NextBucket arena-aliasing contract: the
+// identifier slice returned by Structure.NextBucket aliases an arena
+// owned by the bucket structure and is overwritten by the next
+// NextBucket call (and, for implementations that share scratch, by
+// UpdateBuckets). A caller that reads such a slice after a subsequent
+// NextBucket/UpdateBuckets call on any structure in the same function
+// must have copied it out explicitly first (append onto a fresh or
+// truncated slice, copy, or slices.Clone).
+//
+// The check is lexical within one function body: a binding
+// `id, ids := b.NextBucket()` arms `ids`; any later
+// NextBucket/UpdateBuckets call expires it; a subsequent use of an
+// expired slice is reported unless the use is itself a recognized copy
+// or the variable was reassigned in between. Taint follows plain
+// aliasing assignments (`saved = ids`). Loops are handled by the
+// source order of the loop body, which matches every peeling loop in
+// this repository (extract at the top, consume within the round); the
+// fixtures pin the supported shapes.
+var ArenaAlias = &Analyzer{
+	Name: "arenaalias",
+	Doc:  "flags uses of NextBucket result slices after the arena has been invalidated",
+	Run:  runArenaAlias,
+}
+
+// arenaProducer/arenaInvalidator name the methods with arena
+// semantics. Matching is by method name plus a package check loose
+// enough to cover the bucket package, the public API wrappers, and the
+// fixtures, but tight enough to skip unrelated types.
+func isArenaMethod(pass *Pass, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// arenaEvent is one position-ordered event inside a function body.
+type arenaEvent struct {
+	pos  token.Pos
+	kind int // 0 = invalidation call, 1 = binding, 2 = use, 3 = reassign/copy-out
+	obj  types.Object
+	node ast.Node
+	// aliasFrom, for bindings created by plain aliasing assignment.
+	aliasFrom types.Object
+	// copying marks a use inside a recognized copy construct.
+	copying bool
+}
+
+const (
+	evInvalidate = iota
+	evBind
+	evUse
+	evClear
+)
+
+func runArenaAlias(pass *Pass) error {
+	// Each top-level function is analyzed as one lexical stream,
+	// including its nested closures: the parallel-loop closures in the
+	// peeling algorithms execute synchronously at their lexical
+	// position, so a closure reading an expired slice is a use at that
+	// position.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkArenaBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
+	var events []arenaEvent
+
+	// Collect bindings: `id, ids := x.NextBucket()` (any assign token).
+	bound := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || !isArenaMethod(pass, call, "NextBucket") {
+			return true
+		}
+		// NextBucket returns (ID, []uint32); the slice is the second
+		// value. A single-LHS form would not type-check.
+		if len(asg.Lhs) != 2 {
+			return true
+		}
+		if id, ok := asg.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				// The binding is recorded at the end of the call so it
+				// sorts after the call's own invalidation event: the
+				// call expires older slices, then arms this one.
+				events = append(events, arenaEvent{pos: call.End(), kind: evBind, obj: obj, node: asg})
+				bound[obj] = true
+			}
+		}
+		return true
+	})
+	if len(bound) == 0 {
+		return
+	}
+
+	// Collect invalidations, aliasing, clears, and uses.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if isArenaMethod(pass, s, "NextBucket", "UpdateBuckets") {
+				// The call expires previously armed slices. Recorded at
+				// the call's end, not its start: the call's own
+				// arguments — in particular the update closure that
+				// reads the extracted ids while UpdateBuckets processes
+				// them — run before the arena flips, so uses lexically
+				// inside the call are still valid. (For a binding call
+				// the evBind at the same end position sorts after this
+				// event by kind and re-arms the slice.)
+				events = append(events, arenaEvent{pos: s.End(), kind: evInvalidate, node: s})
+			}
+		case *ast.AssignStmt:
+			// Reassignment of a bound variable clears its taint unless
+			// the RHS is itself a tainted alias.
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[id]
+				}
+				if obj == nil || !bound[obj] {
+					// Plain aliasing: `saved := ids` propagates taint.
+					if obj != nil && i < len(s.Rhs) {
+						if from, ok := aliasSource(pass, s.Rhs[i], bound); ok {
+							events = append(events, arenaEvent{pos: s.Pos(), kind: evBind, obj: obj, aliasFrom: from, node: s})
+							bound[obj] = true
+						}
+					}
+					continue
+				}
+				if i < len(s.Rhs) {
+					if from, ok := aliasSource(pass, s.Rhs[i], bound); ok && from != obj {
+						events = append(events, arenaEvent{pos: s.Pos(), kind: evBind, obj: obj, aliasFrom: from, node: s})
+						continue
+					}
+					if _, isCall := s.Rhs[i].(*ast.CallExpr); isCall {
+						if call := s.Rhs[i].(*ast.CallExpr); isArenaMethod(pass, call, "NextBucket") {
+							continue // handled as a binding above
+						}
+					}
+				}
+				events = append(events, arenaEvent{pos: s.Pos(), kind: evClear, obj: obj, node: s})
+			}
+		}
+		return true
+	})
+
+	// Uses of bound objects.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !bound[obj] {
+			return true
+		}
+		events = append(events, arenaEvent{pos: id.Pos(), kind: evUse, obj: obj, node: id, copying: benignUse(body, id)})
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		return events[i].kind < events[j].kind
+	})
+
+	// Linear simulation.
+	type state struct {
+		armed   bool
+		expired bool
+	}
+	st := map[types.Object]*state{}
+	reported := map[types.Object]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evInvalidate:
+			for _, s := range st {
+				if s.armed {
+					s.expired = true
+				}
+			}
+		case evBind:
+			if ev.aliasFrom != nil {
+				// The alias inherits the source's state at this point.
+				if src := st[ev.aliasFrom]; src != nil {
+					st[ev.obj] = &state{armed: src.armed, expired: src.expired}
+				} else {
+					st[ev.obj] = &state{}
+				}
+				continue
+			}
+			st[ev.obj] = &state{armed: true}
+		case evClear:
+			st[ev.obj] = &state{}
+		case evUse:
+			s := st[ev.obj]
+			if s == nil || !s.armed || !s.expired || reported[ev.obj] {
+				continue
+			}
+			if ev.copying {
+				continue
+			}
+			reported[ev.obj] = true
+			pass.Reportf(ev.pos,
+				"%s aliases the bucket arena and a NextBucket/UpdateBuckets call has since invalidated it; copy the slice out before the next call",
+				ev.obj.Name())
+		}
+	}
+}
+
+// aliasSource reports whether expr is a plain alias of a bound slice
+// variable (the bare identifier, or a full-slice expression of it).
+func aliasSource(pass *Pass, expr ast.Expr, bound map[types.Object]bool) (types.Object, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && bound[obj] {
+			return obj, true
+		}
+	case *ast.SliceExpr:
+		return aliasSource(pass, e.X, bound)
+	}
+	return nil, false
+}
+
+// benignUse reports whether the identifier use cannot read the arena's
+// backing array: the recognized copy-out idioms (`append(dst, ids...)`,
+// `copy(dst, ids)`, `slices.Clone(ids)` — the explicit copies the
+// contract asks for) and header-only reads (`len(ids)`, `cap(ids)`,
+// `ids == nil`), which touch the slice header, not the expired memory.
+func benignUse(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		switch name {
+		case "append", "copy", "Clone":
+			for _, arg := range call.Args {
+				if containsIdent(arg, id) {
+					found = true
+					return false
+				}
+			}
+		case "len", "cap":
+			// Only the direct operand: len(ids) is header-only, but
+			// len(f(ids)) still hands the arena to f.
+			if len(call.Args) == 1 {
+				if arg, ok := call.Args[0].(*ast.Ident); ok && arg == id {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsIdent(e ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == ast.Node(id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

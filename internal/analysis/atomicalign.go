@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAlign is the suite's port of the x/tools atomicalign pass
+// (this repository vendors no external modules, so the stock analyzer
+// cannot be imported): 64-bit sync/atomic operations require their
+// address to be 64-bit aligned, which 32-bit platforms (386, arm,
+// mips) only guarantee for the first word of an allocation. A 64-bit
+// struct field at a non-8-aligned offset under 32-bit layout rules
+// panics at runtime on those platforms.
+//
+// The check computes field offsets with a 32-bit sizes model
+// (WordSize 4, the worst case) regardless of the host, so an amd64
+// development machine still catches layouts that would break a 32-bit
+// build. Fields inside structs that are never atomically accessed are
+// not checked.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "flags 64-bit atomic operations on fields not 64-bit aligned under 32-bit layout",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic entry points operating on 64-bit
+// cells through their first argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 is the worst-case 32-bit layout model (386: 4-byte words,
+// 64-bit values aligned to 4). Built explicitly rather than via
+// SizesFor, whose concrete return type is unexported and cannot be
+// asked for field offsets directly.
+var sizes32 = &types.StdSizes{WordSize: 4, MaxAlign: 4}
+
+func runAtomicAlign(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			fieldSel, ok := unary.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[fieldSel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			off, known := fieldOffset32(selection)
+			if known && off%8 != 0 {
+				pass.Reportf(call.Pos(),
+					"%s.%s: 64-bit atomic access to field %s at 32-bit offset %d (not 8-aligned); move the field to the front of the struct or pad before it",
+					fn.Pkg().Name(), fn.Name(), selection.Obj().Name(), off)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOffset32 computes the selected field's byte offset from the
+// start of its outermost struct under the 32-bit layout. The embedded
+// path is walked index by index so promoted fields are handled.
+func fieldOffset32(sel *types.Selection) (int64, bool) {
+	t := sel.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var total int64
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		total += offsets[idx]
+		t = st.Field(idx).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			// A pointer hop resets the offset: the pointee is its own
+			// allocation, whose base alignment we cannot see. Assume
+			// allocator-aligned (8 even on 32-bit for new(T)) and
+			// restart.
+			t = ptr.Elem()
+			total = 0
+		}
+	}
+	return total, true
+}

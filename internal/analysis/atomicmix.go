@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix reports struct fields and package-level variables that are
+// accessed through sync/atomic (or the internal/parallel atomic
+// wrappers) in one place and through plain reads or writes in another.
+// Mixing the two silently breaks the happens-before edges the atomic
+// side is paying for: the plain access races with every atomic access,
+// and the race detector only catches the schedules it happens to see.
+// The bucket Stats contract ("maintained with atomic operations,
+// snapshotted with atomic loads") is the motivating instance.
+//
+// Accesses through a value copy (e.g. a method on a value receiver
+// operating on an already-taken snapshot) are allowed: the copy is
+// private to its holder, so no concurrent atomic access can touch it.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain reads/writes of fields that are elsewhere accessed atomically",
+	Run:  runAtomicMix,
+}
+
+// parallelAtomicFuncs are the internal/parallel wrappers that perform
+// an atomic access through their pointer argument.
+var parallelAtomicFuncs = map[string]bool{
+	"CASUint32":      true,
+	"CASUint64":      true,
+	"WriteMinUint32": true,
+	"WriteMinUint64": true,
+	"WriteMaxUint32": true,
+	"AddInt64":       true,
+	"AddUint32":      true,
+	"LoadUint32":     true,
+	"StoreUint32":    true,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect the objects (struct fields and package-level
+	// vars) whose address is taken as the pointer argument of an atomic
+	// operation, together with the argument expressions themselves so
+	// pass 2 can tell atomic accesses apart from plain ones.
+	atomicObjs := map[types.Object][]token.Pos{}
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			// The address being operated on is the first argument, by
+			// convention of both sync/atomic and the parallel wrappers.
+			arg := call.Args[0]
+			unary, ok := arg.(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			if obj := trackableObject(pass, unary.X); obj != nil {
+				atomicObjs[obj] = append(atomicObjs[obj], call.Pos())
+				atomicArgs[unary.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those objects must be atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicArgs[e] {
+					// This is the &x.f of an atomic call; do not
+					// descend into it, or the inner selector would be
+					// misread as a plain access.
+					return false
+				}
+				obj := fieldObject(pass, e)
+				if obj == nil {
+					return true
+				}
+				if _, hot := atomicObjs[obj]; hot && sharedAccess(pass, e) {
+					pass.Reportf(e.Pos(),
+						"plain access of %s.%s, which is accessed atomically elsewhere; use sync/atomic (or a snapshot copy)",
+						fieldOwner(obj), obj.Name())
+				}
+			case *ast.Ident:
+				if atomicArgs[e] {
+					return false
+				}
+				obj := pass.TypesInfo.Uses[e]
+				if obj == nil {
+					return true
+				}
+				if _, hot := atomicObjs[obj]; hot && isPackageVar(obj) {
+					pass.Reportf(e.Pos(),
+						"plain access of package variable %s, which is accessed atomically elsewhere; use sync/atomic",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function or
+// one of the internal/parallel atomic wrappers.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "sync/atomic":
+		return true
+	case pkgPathEndsWith(fn.Pkg().Path(), "parallel") && parallelAtomicFuncs[fn.Name()]:
+		return true
+	}
+	return false
+}
+
+// trackableObject maps the operand of an atomic &x to the object the
+// analyzer can track across the package: a struct field accessed
+// through a selector, or a package-level variable. Slice and array
+// elements are not trackable (the object does not identify the cell).
+func trackableObject(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return fieldObject(pass, x)
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil && isPackageVar(obj) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// fieldObject returns the struct-field object selected by e, or nil if
+// e selects something else (a method, a package member, ...).
+func fieldObject(pass *Pass, e *ast.SelectorExpr) types.Object {
+	sel, ok := pass.TypesInfo.Selections[e]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	return sel.Obj()
+}
+
+// isPackageVar reports whether obj is a package-level variable.
+func isPackageVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// sharedAccess reports whether the selector chain of e can reach
+// memory shared with the atomic accessors: some link of the chain goes
+// through a pointer (or an index/call whose result we cannot prove
+// private). A chain rooted entirely in a local value copy is a private
+// snapshot and is exempt.
+func sharedAccess(pass *Pass, e *ast.SelectorExpr) bool {
+	x := e.X
+	for {
+		if tv, ok := pass.TypesInfo.Types[x]; ok {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+		}
+		switch inner := x.(type) {
+		case *ast.SelectorExpr:
+			x = inner.X
+		case *ast.ParenExpr:
+			x = inner.X
+		case *ast.StarExpr:
+			return true
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[inner]
+			if obj == nil {
+				return true
+			}
+			if isPackageVar(obj) {
+				return true // package-level value is shared by definition
+			}
+			// Local value variable: the chain operates on a copy.
+			return false
+		default:
+			// Index expressions, calls, composite literals: assume
+			// shared rather than miss a race.
+			return true
+		}
+	}
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort.
+func fieldOwner(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return "?"
+	}
+	// The owning named type is not directly recorded on the field;
+	// report the package-qualified field for unambiguous output.
+	return obj.Pkg().Name()
+}

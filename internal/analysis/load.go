@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path         string
+	Dir          string
+	Fset         *token.FileSet
+	Files        []*ast.File // type-checked under the active build config
+	IgnoredFiles []*ast.File // excluded by build constraints; parsed only
+	Types        *types.Package
+	Info         *types.Info
+
+	// filesByName maps base filename to the parsed file (active and
+	// ignored), for the tagdrift pairing.
+	filesByName map[string]*ast.File
+}
+
+// LoadConfig configures package loading.
+type LoadConfig struct {
+	// Dir is the working directory for `go list` (the module root in
+	// practice). Empty means the current directory.
+	Dir string
+	// Tags is the build-tag list forwarded to `go list -tags`, e.g.
+	// "julienne_debug" or "race". It selects which half of each
+	// tag-paired file set is type-checked.
+	Tags string
+}
+
+// listJSON is the subset of `go list -json` output the loader uses.
+type listJSON struct {
+	ImportPath     string
+	Dir            string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Export         string
+	DepOnly        bool
+	Incomplete     bool
+	Error          *struct{ Err string }
+}
+
+// Load loads the packages matching the go list patterns, type-checking
+// them from source with imports resolved from compiled export data
+// (`go list -export`). It deliberately uses only the standard library:
+// this repository has no network access for golang.org/x/tools, and
+// export data keeps the loader exact where a source-only importer
+// would not understand module layout.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,IgnoredGoFiles,Export,DepOnly,Incomplete,Error"}
+	if cfg.Tags != "" {
+		args = append(args, "-tags", cfg.Tags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listJSON
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles, t.IgnoredGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths from compiled export data files
+// via the standard gc importer's lookup hook.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is the package listed by `go list -deps`?)", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles, ignored []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, filesByName: map[string]*ast.File{}}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.filesByName[name] = f
+	}
+	for _, name := range ignored {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			// Ignored files may be excluded precisely because they do
+			// not parse under this toolchain; skip them.
+			continue
+		}
+		pkg.IgnoredFiles = append(pkg.IgnoredFiles, f)
+		pkg.filesByName[name] = f
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadDir loads a GOPATH-style fixture tree: every directory under
+// root containing .go files becomes a package whose import path is its
+// path relative to root. Fixture packages may import each other by
+// those relative paths and may import the standard library; standard
+// imports are resolved through export data obtained from `go list`.
+// This is how the analysistest fixtures under testdata/src load, and
+// how `julvet -dir` analyzes a known-bad tree that must stay outside
+// the module build.
+func LoadDir(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	type rawPkg struct {
+		path    string
+		dir     string
+		active  map[string][]byte // filename -> source
+		ignored map[string][]byte
+		imports map[string]bool
+	}
+	var raws []*rawPkg
+	ctx := build.Default
+	err = filepath.Walk(root, func(dir string, fi os.FileInfo, err error) error {
+		if err != nil || !fi.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		rp := &rawPkg{dir: dir, active: map[string][]byte{}, ignored: map[string][]byte{}, imports: map[string]bool{}}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			match, err := ctx.MatchFile(dir, e.Name())
+			if err != nil {
+				return err
+			}
+			if match {
+				rp.active[e.Name()] = src
+			} else {
+				rp.ignored[e.Name()] = src
+			}
+		}
+		if len(rp.active) == 0 && len(rp.ignored) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		rp.path = filepath.ToSlash(rel)
+		raws = append(raws, rp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*rawPkg{}
+	parsed := map[string]*Package{}
+	for _, rp := range raws {
+		byPath[rp.path] = rp
+		pkg := &Package{Path: rp.path, Dir: rp.dir, Fset: fset, filesByName: map[string]*ast.File{}}
+		for _, name := range sortedKeys(rp.active) {
+			f, err := parser.ParseFile(fset, filepath.Join(rp.dir, name), rp.active[name], parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing fixture %s/%s: %v", rp.path, name, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.filesByName[name] = f
+			for _, spec := range f.Imports {
+				rp.imports[strings.Trim(spec.Path.Value, `"`)] = true
+			}
+		}
+		for _, name := range sortedKeys(rp.ignored) {
+			f, err := parser.ParseFile(fset, filepath.Join(rp.dir, name), rp.ignored[name], parser.ParseComments)
+			if err != nil {
+				continue
+			}
+			pkg.IgnoredFiles = append(pkg.IgnoredFiles, f)
+			pkg.filesByName[name] = f
+		}
+		parsed[rp.path] = pkg
+	}
+
+	// Resolve non-fixture imports through export data, in one go list
+	// invocation over the union of external import paths.
+	external := map[string]bool{}
+	for _, rp := range raws {
+		for imp := range rp.imports {
+			if _, local := byPath[imp]; !local {
+				external[imp] = true
+			}
+		}
+	}
+	exports, err := exportData(sortedBoolKeys(external))
+	if err != nil {
+		return nil, err
+	}
+	gcImp := exportImporter(fset, exports)
+
+	// Type-check fixtures in dependency order so local imports resolve
+	// to already-checked packages.
+	checked := map[string]*types.Package{}
+	comb := &combinedImporter{local: checked, fallback: gcImp}
+	var order []string
+	var visit func(string) error
+	visiting := map[string]bool{}
+	visit = func(path string) error {
+		if _, done := checked[path]; done || visiting[path] {
+			return nil
+		}
+		visiting[path] = true
+		defer func() { visiting[path] = false }()
+		rp := byPath[path]
+		for imp := range rp.imports {
+			if _, local := byPath[imp]; local {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg := parsed[path]
+		if len(pkg.Files) > 0 {
+			pkg.Info = newInfo()
+			conf := types.Config{Importer: comb}
+			tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+			if err != nil {
+				return fmt.Errorf("type-checking fixture %s: %v", path, err)
+			}
+			pkg.Types = tpkg
+			checked[path] = tpkg
+		} else {
+			// Tag-only fixture (all files ignored): no type info.
+			pkg.Info = newInfo()
+			pkg.Types = types.NewPackage(path, "p")
+		}
+		order = append(order, path)
+		return nil
+	}
+	for _, rp := range raws {
+		if err := visit(rp.path); err != nil {
+			return nil, err
+		}
+	}
+	pkgs := make([]*Package, 0, len(order))
+	for _, path := range order {
+		pkgs = append(pkgs, parsed[path])
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// exportData maps each listed import path (plus its dependencies) to
+// its compiled export data file.
+func exportData(paths []string) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(paths) == 0 {
+		return exports, nil
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list (export data for %v): %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// combinedImporter serves fixture-local packages from the checked map
+// and everything else from export data.
+type combinedImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *combinedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ScratchPair enforces the pooled-scratch ownership contract of
+// internal/parallel: every buffer borrowed with GetScratch (or a
+// helper returning *parallel.Scratch[T], like ligra's workerParts)
+// must be Released on every return path of the borrowing function, or
+// explicitly handed off (returned, stored, or passed to another
+// function, which transfers ownership). A buffer that misses a Release
+// on an early-return path is not a leak — the pool is backed by the
+// GC — but it silently forfeits the allocation-free steady state that
+// PR 4's AllocsPerRun regressions pin, and the regression only fires
+// on the paths the benchmarks happen to take.
+//
+// The analysis walks the function body as a branch tree: an obligation
+// is discharged by s.Release(), defer s.Release(), or an ownership
+// transfer, and every return statement (and a reachable fall-off at
+// the end of the function) is checked against the obligations still
+// held on that path. Panics are out of scope (the pool survives
+// dropped buffers; the contract is about panic-free paths).
+var ScratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc:  "flags scratch buffers from parallel.GetScratch not Released on every return path",
+	Run:  runScratchPair,
+}
+
+func runScratchPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			w := &scratchWalker{pass: pass}
+			held := map[types.Object]*scratchObligation{}
+			terminated := w.walkStmts(body.List, held)
+			if !terminated {
+				w.checkHeld(held, body.End())
+			}
+			w.reportLeaks()
+			return true
+		})
+	}
+	return nil
+}
+
+// scratchObligation tracks one borrowed buffer.
+type scratchObligation struct {
+	obj    types.Object
+	getPos ast.Node // the Get call, where the diagnostic is anchored
+	leaked bool     // some path reached an exit while held
+}
+
+type scratchWalker struct {
+	pass *Pass
+	all  []*scratchObligation
+}
+
+// isScratchType reports whether t is *parallel.Scratch[T] (for any
+// package spelled "parallel", so the fixtures can carry a stub).
+func isScratchType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Scratch" && named.Obj().Pkg().Name() == "parallel"
+}
+
+// walkStmts interprets a statement list, mutating held in place.
+// It returns true if the list definitely terminates (return / panic),
+// so the caller knows the fall-through path is dead.
+func (w *scratchWalker) walkStmts(stmts []ast.Stmt, held map[types.Object]*scratchObligation) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *scratchWalker) walkStmt(s ast.Stmt, held map[types.Object]*scratchObligation) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		w.scanExprs(st.Rhs, held)
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := w.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !isScratchType(obj.Type()) {
+				continue
+			}
+			if i < len(st.Rhs) || len(st.Rhs) == 1 {
+				rhs := st.Rhs[min(i, len(st.Rhs)-1)]
+				if call, ok := rhs.(*ast.CallExpr); ok && w.isScratchSource(call) {
+					ob := &scratchObligation{obj: obj, getPos: call}
+					held[obj] = ob
+					w.all = append(w.all, ob)
+					continue
+				}
+			}
+			// Reassigned from something else: the old obligation (if
+			// any) is overwritten — treat as transfer to avoid noise.
+			delete(held, obj)
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if obj := w.releaseTarget(call); obj != nil {
+				delete(held, obj)
+				return false
+			}
+		}
+		w.scanExprs([]ast.Expr{st.X}, held)
+		return false
+	case *ast.DeferStmt:
+		if obj := w.releaseTarget(st.Call); obj != nil {
+			delete(held, obj)
+			return false
+		}
+		w.scanExprs([]ast.Expr{st.Call}, held)
+		return false
+	case *ast.ReturnStmt:
+		// Returning a scratch transfers ownership to the caller.
+		for _, r := range st.Results {
+			if obj := w.identObj(r); obj != nil {
+				delete(held, obj)
+			}
+		}
+		w.scanExprs(st.Results, held)
+		w.checkHeld(held, st.Pos())
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		thenHeld := copyHeld(held)
+		thenTerm := w.walkStmts(st.Body.List, thenHeld)
+		elseHeld := copyHeld(held)
+		elseTerm := false
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = w.walkStmts(e.List, elseHeld)
+			case *ast.IfStmt:
+				elseTerm = w.walkStmt(e, elseHeld)
+			}
+		}
+		mergeBranches(held, thenHeld, thenTerm, elseHeld, elseTerm)
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		bodyHeld := copyHeld(held)
+		w.walkStmts(st.Body.List, bodyHeld)
+		mergeInto(held, bodyHeld)
+		// A `for {}` with no condition only exits via return/break;
+		// treat as non-terminating for simplicity.
+		return false
+	case *ast.RangeStmt:
+		bodyHeld := copyHeld(held)
+		w.walkStmts(st.Body.List, bodyHeld)
+		mergeInto(held, bodyHeld)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies []*ast.BlockStmt
+		var hasDefault bool
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				w.walkStmt(sw.Init, held)
+			}
+			for _, c := range sw.Body.List {
+				cc := c.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range sw.Body.List {
+				cc := c.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		case *ast.SelectStmt:
+			hasDefault = true
+			for _, c := range sw.Body.List {
+				bodies = append(bodies, &ast.BlockStmt{List: c.(*ast.CommClause).Body})
+			}
+		}
+		allTerm := len(bodies) > 0
+		for _, b := range bodies {
+			caseHeld := copyHeld(held)
+			term := w.walkStmts(b.List, caseHeld)
+			if !term {
+				mergeInto(held, caseHeld)
+				allTerm = false
+			}
+		}
+		return allTerm && hasDefault
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.GoStmt:
+		w.scanExprs([]ast.Expr{st.Call}, held)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.scanExprs(vs.Values, held)
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isScratchSource reports whether call borrows from the pool: a call
+// to a function named GetScratch, or any call whose single result is
+// *parallel.Scratch[T] (covering local helpers like workerParts).
+func (w *scratchWalker) isScratchSource(call *ast.CallExpr) bool {
+	if tv, ok := w.pass.TypesInfo.Types[call]; ok && isScratchType(tv.Type) {
+		return true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "GetScratch")
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(fun.Sel.Name, "GetScratch")
+	case *ast.IndexExpr: // GetScratch[T](n)
+		return w.isScratchSource(&ast.CallExpr{Fun: fun.X, Args: call.Args})
+	}
+	return false
+}
+
+// releaseTarget returns the scratch object released by `s.Release()`,
+// or nil.
+func (w *scratchWalker) releaseTarget(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil || !isScratchType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// scanExprs clears obligations for scratch objects that escape by
+// being passed to a call or stored somewhere (ownership transfer).
+// Field selection (s.S) is a use, not a transfer.
+func (w *scratchWalker) scanExprs(exprs []ast.Expr, held map[types.Object]*scratchObligation) {
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := w.identObj(arg); obj != nil {
+					delete(held, obj) // passed along: ownership transfer
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *scratchWalker) identObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil || !isScratchType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// checkHeld marks every still-held obligation as leaking at this exit.
+func (w *scratchWalker) checkHeld(held map[types.Object]*scratchObligation, _ token.Pos) {
+	for _, ob := range held {
+		ob.leaked = true
+	}
+}
+
+func (w *scratchWalker) reportLeaks() {
+	for _, ob := range w.all {
+		if ob.leaked {
+			w.pass.Reportf(ob.getPos.Pos(),
+				"scratch buffer %s is not Released on every return path; add a Release (or defer) before each return",
+				ob.obj.Name())
+		}
+	}
+}
+
+func copyHeld(held map[types.Object]*scratchObligation) map[types.Object]*scratchObligation {
+	out := make(map[types.Object]*scratchObligation, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeBranches recomputes held after an if/else: an obligation
+// survives if any non-terminated continuation still holds it. With no
+// else branch, elseHeld is the unmodified skip path.
+func mergeBranches(held, thenHeld map[types.Object]*scratchObligation, thenTerm bool, elseHeld map[types.Object]*scratchObligation, elseTerm bool) {
+	for k := range held {
+		delete(held, k)
+	}
+	if !thenTerm {
+		for k, v := range thenHeld {
+			held[k] = v
+		}
+	}
+	if !elseTerm {
+		for k, v := range elseHeld {
+			held[k] = v
+		}
+	}
+}
+
+// mergeInto adds obligations created inside a loop body that are still
+// held when the body falls through (they persist past the loop).
+func mergeInto(held, bodyHeld map[types.Object]*scratchObligation) {
+	for k, v := range bodyHeld {
+		held[k] = v
+	}
+	for k := range held {
+		if _, ok := bodyHeld[k]; !ok {
+			// Released inside the body on the fall-through path:
+			// treat as discharged after the loop too.
+			delete(held, k)
+		}
+	}
+}

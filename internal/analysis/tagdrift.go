@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// TagDrift keeps build-tag-paired files honest. The repository pairs
+// files by suffix — race_on.go/race_off.go, debug_on.go/debug_off.go —
+// where exactly one of each pair compiles into any given build, and
+// the rest of the package calls through the shared surface. If the two
+// halves drift (a hook added to the _on file but not the _off file, or
+// a signature change on one side), the configuration that CI happens
+// not to build breaks silently.
+//
+// For each <base>_on.go/<base>_off.go pair in a package directory
+// (active or build-tag-excluded), the analyzer compares, purely
+// syntactically:
+//
+//   - functions and methods, by name, receiver base type, and
+//     parameter/result types (parameter names are ignored) — except
+//     methods on types declared inside the pair itself, which are
+//     pair-private implementation detail (e.g. debugState's helpers);
+//   - package-level const, var, and type names (not their values or
+//     structures: the halves exist precisely to differ there).
+//
+// Every mismatch is reported on the file missing the declaration.
+var TagDrift = &Analyzer{
+	Name: "tagdrift",
+	Doc:  "flags signature drift between build-tag-paired files (x_on.go vs x_off.go)",
+	Run:  runTagDrift,
+}
+
+// tagDecl is one comparable package-level declaration.
+type tagDecl struct {
+	kind string // "func", "const", "var", "type"
+	key  string // comparison key (name + normalized signature for funcs)
+}
+
+func runTagDrift(pass *Pass) error {
+	byName := map[string]*ast.File{}
+	for _, f := range pass.Files {
+		byName[baseFilename(pass.Fset, f)] = f
+	}
+	for _, f := range pass.IgnoredFiles {
+		byName[baseFilename(pass.Fset, f)] = f
+	}
+	for name, f := range byName {
+		base, ok := strings.CutSuffix(name, "_on.go")
+		if !ok {
+			continue
+		}
+		offName := base + "_off.go"
+		off, ok := byName[offName]
+		if !ok {
+			pass.Reportf(f.Package, "tag-paired file %s has no matching %s", name, offName)
+			continue
+		}
+		comparePair(pass, name, f, offName, off)
+	}
+	return nil
+}
+
+func baseFilename(fset *token.FileSet, f *ast.File) string {
+	full := fset.Position(f.Package).Filename
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+func comparePair(pass *Pass, onName string, on *ast.File, offName string, off *ast.File) {
+	// Types declared inside either half are pair-private: methods on
+	// them need not match (the halves legitimately differ in their
+	// internal helpers), but the type names themselves must exist on
+	// both sides so shared code can reference them.
+	privateTypes := map[string]bool{}
+	for _, f := range []*ast.File{on, off} {
+		for _, d := range f.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+				for _, spec := range gd.Specs {
+					privateTypes[spec.(*ast.TypeSpec).Name.Name] = true
+				}
+			}
+		}
+	}
+	onDecls := collectTagDecls(pass.Fset, on, privateTypes)
+	offDecls := collectTagDecls(pass.Fset, off, privateTypes)
+	reportMissing(pass, on, onDecls, offName, offDecls)
+	reportMissing(pass, off, offDecls, onName, onDecls)
+}
+
+// reportMissing reports every declaration of `have` absent from
+// `other`, anchored on the file that has the declaration (the fix is
+// usually to mirror it, and that is where the author is looking).
+func reportMissing(pass *Pass, f *ast.File, have map[tagDecl]token.Pos, otherName string, other map[tagDecl]token.Pos) {
+	keys := make([]tagDecl, 0, len(have))
+	for d := range have {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return have[keys[i]] < have[keys[j]] })
+	for _, d := range keys {
+		if _, ok := other[d]; !ok {
+			pass.Reportf(have[d], "tag drift: %s %s has no matching declaration in %s", d.kind, d.key, otherName)
+		}
+	}
+}
+
+func collectTagDecls(fset *token.FileSet, f *ast.File, privateTypes map[string]bool) map[tagDecl]token.Pos {
+	decls := map[tagDecl]token.Pos{}
+	for _, d := range f.Decls {
+		switch dd := d.(type) {
+		case *ast.FuncDecl:
+			recv := ""
+			if dd.Recv != nil && len(dd.Recv.List) > 0 {
+				recv = receiverBase(dd.Recv.List[0].Type)
+				if privateTypes[recv] {
+					continue
+				}
+			}
+			key := dd.Name.Name + normalizeSignature(fset, dd)
+			if recv != "" {
+				key = "(" + recv + ")." + key
+			}
+			decls[tagDecl{kind: "func", key: key}] = dd.Pos()
+		case *ast.GenDecl:
+			var kind string
+			switch dd.Tok {
+			case token.CONST:
+				kind = "const"
+			case token.VAR:
+				kind = "var"
+			case token.TYPE:
+				kind = "type"
+			default:
+				continue
+			}
+			for _, spec := range dd.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.Name == "_" {
+							continue
+						}
+						decls[tagDecl{kind: kind, key: n.Name}] = n.Pos()
+					}
+				case *ast.TypeSpec:
+					decls[tagDecl{kind: kind, key: s.Name.Name}] = s.Pos()
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// receiverBase extracts the receiver's base type name, dropping
+// pointers and type parameters.
+func receiverBase(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// normalizeSignature renders a function's parameter and result types
+// with parameter names stripped, so `f(k int)` and `f(n int)` compare
+// equal while `f(k int)` and `f(k int64)` do not.
+func normalizeSignature(fset *token.FileSet, fd *ast.FuncDecl) string {
+	var b strings.Builder
+	b.WriteString("(")
+	writeFieldTypes(&b, fset, fd.Type.Params)
+	b.WriteString(")")
+	if fd.Type.Results != nil {
+		b.WriteString("(")
+		writeFieldTypes(&b, fset, fd.Type.Results)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeFieldTypes(b *strings.Builder, fset *token.FileSet, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, field := range fl.List {
+		// A field with n names contributes n copies of its type.
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(",")
+			}
+			first = false
+			b.WriteString(typeString(fset, field.Type))
+		}
+	}
+}
+
+// typeString renders a type expression, recursively stripping
+// parameter names inside function types so they do not affect
+// comparison.
+func typeString(fset *token.FileSet, e ast.Expr) string {
+	if ft, ok := e.(*ast.FuncType); ok {
+		var b strings.Builder
+		b.WriteString("func(")
+		writeFieldTypes(&b, fset, ft.Params)
+		b.WriteString(")")
+		if ft.Results != nil {
+			b.WriteString("(")
+			writeFieldTypes(&b, fset, ft.Results)
+			b.WriteString(")")
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+// Fixture for the arenaalias analyzer. B mimics the bucket structures:
+// NextBucket returns a slice aliasing an internal arena that the next
+// NextBucket/UpdateBuckets call overwrites.
+package a
+
+type B struct {
+	arena []uint32
+}
+
+func (b *B) NextBucket() (uint32, []uint32) {
+	return 0, b.arena
+}
+
+func (b *B) UpdateBuckets(k int) {}
+
+func each(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// Bad reads the arena slice after UpdateBuckets invalidated it.
+func Bad(b *B) uint32 {
+	_, ids := b.NextBucket()
+	b.UpdateBuckets(1)
+	return ids[0] // want "ids aliases the bucket arena and a NextBucket/UpdateBuckets call has since invalidated it"
+}
+
+// BadNext reads the slice after the next NextBucket overwrote it.
+func BadNext(b *B) uint32 {
+	_, ids := b.NextBucket()
+	_, _ = b.NextBucket()
+	return ids[0] // want "ids aliases the bucket arena"
+}
+
+// BadClosure is the shape of the densest-subgraph regression: the
+// expired slice is read through a parallel-style closure. The closure
+// runs synchronously at its lexical position, so this is a use after
+// invalidation.
+func BadClosure(b *B) uint32 {
+	_, ids := b.NextBucket()
+	b.UpdateBuckets(1)
+	var sum uint32
+	each(len(ids), func(i int) { sum += ids[i] }) // want "ids aliases the bucket arena"
+	return sum
+}
+
+// BadAlias reaches the expired arena through a plain alias.
+func BadAlias(b *B) uint32 {
+	_, ids := b.NextBucket()
+	saved := ids
+	b.UpdateBuckets(1)
+	return saved[0] // want "saved aliases the bucket arena"
+}

@@ -1,0 +1,49 @@
+package a
+
+// CopyOut is the contractual fix: append onto an independent slice
+// before the arena is invalidated.
+func CopyOut(b *B) []uint32 {
+	_, ids := b.NextBucket()
+	out := append([]uint32(nil), ids...)
+	b.UpdateBuckets(1)
+	return out
+}
+
+// HeaderOnly reads only the slice header after invalidation; len/cap
+// never touch the backing array.
+func HeaderOnly(b *B) int {
+	_, ids := b.NextBucket()
+	b.UpdateBuckets(1)
+	return len(ids)
+}
+
+// UseBefore consumes the slice while it is still valid.
+func UseBefore(b *B) uint32 {
+	_, ids := b.NextBucket()
+	x := ids[0]
+	b.UpdateBuckets(1)
+	return x
+}
+
+// Rebound re-extracts after the invalidation, which re-arms the
+// binding: the read sees the fresh arena contents.
+func Rebound(b *B) uint32 {
+	_, ids := b.NextBucket()
+	b.UpdateBuckets(int(ids[0]))
+	_, ids = b.NextBucket()
+	return ids[0]
+}
+
+// PeelLoop is the canonical peeling shape: extract at the top of each
+// round, consume within the round, update at the bottom.
+func PeelLoop(b *B) uint32 {
+	var total uint32
+	for r := 0; r < 4; r++ {
+		_, ids := b.NextBucket()
+		for _, id := range ids {
+			total += id
+		}
+		b.UpdateBuckets(len(ids))
+	}
+	return total
+}

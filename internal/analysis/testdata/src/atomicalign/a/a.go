@@ -1,0 +1,33 @@
+// Fixture for the atomicalign analyzer: 64-bit atomic fields must sit
+// at 8-aligned offsets under the worst-case 32-bit layout (WordSize 4).
+package a
+
+import "sync/atomic"
+
+type bad struct {
+	flag uint32 // 4 bytes: pushes n to offset 4 on 32-bit
+	n    int64
+}
+
+func (b *bad) inc() {
+	atomic.AddInt64(&b.n, 1) // want "64-bit atomic access to field n at 32-bit offset 4"
+}
+
+type good struct {
+	n    int64 // first field: offset 0 in every layout
+	flag uint32
+}
+
+func (g *good) inc() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+type padded struct {
+	flag uint32
+	_    uint32 // explicit pad keeps n 8-aligned on 32-bit
+	n    int64
+}
+
+func (p *padded) load() int64 {
+	return atomic.LoadInt64(&p.n)
+}

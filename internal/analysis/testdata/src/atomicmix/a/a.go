@@ -1,0 +1,42 @@
+// Fixture for the atomicmix analyzer: fields and package variables
+// accessed via sync/atomic in one place must be accessed atomically
+// everywhere; reads through a private value snapshot are exempt.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) bad() int64 {
+	return c.n // want "plain access of a\\.n, which is accessed atomically elsewhere"
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want "plain access of a\\.n, which is accessed atomically elsewhere"
+}
+
+// snapshot takes the value atomically; the copy is private to the
+// holder, so plain field reads on it are fine.
+func (c *counter) snapshot() counter {
+	return counter{n: atomic.LoadInt64(&c.n)}
+}
+
+func diff(a, b counter) int64 {
+	return a.n - b.n // clean: value copies, no shared memory
+}
+
+var hits int64
+
+func touch() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func peek() int64 {
+	return hits // want "plain access of package variable hits"
+}

@@ -1,0 +1,17 @@
+// Fixture: accesses through the internal/parallel atomic wrappers
+// count as atomic accesses, so a plain read elsewhere is still mixing.
+package b
+
+import "atomicmix/parallel"
+
+type stats struct {
+	moved int64
+}
+
+func (s *stats) add(k int64) {
+	parallel.AddInt64(&s.moved, k)
+}
+
+func (s *stats) peek() int64 {
+	return s.moved // want "plain access of b\\.moved, which is accessed atomically elsewhere"
+}

@@ -1,0 +1,17 @@
+// Clean fixture: a package with consistent atomic discipline produces
+// no atomicmix diagnostics.
+package clean
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func (g *gauge) set(x int64) {
+	atomic.StoreInt64(&g.v, x)
+}
+
+func (g *gauge) get() int64 {
+	return atomic.LoadInt64(&g.v)
+}

@@ -1,0 +1,14 @@
+// Package parallel is a fixture stand-in for julienne's
+// internal/parallel atomic wrappers: the atomicmix analyzer must treat
+// these exactly like direct sync/atomic calls.
+package parallel
+
+import "sync/atomic"
+
+func AddInt64(p *int64, delta int64) int64 {
+	return atomic.AddInt64(p, delta)
+}
+
+func LoadUint32(p *uint32) uint32 {
+	return atomic.LoadUint32(p)
+}

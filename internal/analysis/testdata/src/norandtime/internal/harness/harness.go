@@ -1,0 +1,10 @@
+// The internal/harness suffix owns the timing primitive; clean.
+package harness
+
+import "time"
+
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

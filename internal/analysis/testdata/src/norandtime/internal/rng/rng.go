@@ -1,0 +1,9 @@
+// The internal/rng suffix is the one place math/rand may appear (the
+// real package wraps seeded generators); clean.
+package rng
+
+import "math/rand"
+
+func Int(seed int64) int64 {
+	return rand.New(rand.NewSource(seed)).Int63()
+}

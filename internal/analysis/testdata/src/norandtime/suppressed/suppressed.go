@@ -1,0 +1,13 @@
+// Fixture pinning the //lint:ignore suppression mechanism: both
+// placements (line above, same line) silence the diagnostic, so this
+// package must produce no findings.
+package suppressed
+
+import "time"
+
+//lint:ignore julvet/norandtime fixture pins the line-above directive placement
+var bootTime = time.Now()
+
+func sameLine() time.Time {
+	return time.Now() //lint:ignore julvet/norandtime fixture pins the same-line directive placement
+}

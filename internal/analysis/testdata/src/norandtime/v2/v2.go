@@ -1,0 +1,8 @@
+// math/rand/v2 is forbidden just like math/rand.
+package v2
+
+import "math/rand/v2" // want "import of math/rand/v2: use the seeded generators in internal/rng"
+
+func roll() int {
+	return rand.IntN(6)
+}

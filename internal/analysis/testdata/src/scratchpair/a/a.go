@@ -1,0 +1,59 @@
+// Fixture for the scratchpair analyzer: every GetScratch must be
+// Released on all return paths unless ownership is handed off.
+package a
+
+import "scratchpair/parallel"
+
+// Leak misses the Release on the early-return path.
+func Leak(n int) int {
+	s := parallel.GetScratch[int](n) // want "scratch buffer s is not Released on every return path"
+	if n > 10 {
+		return 0
+	}
+	s.Release()
+	return 1
+}
+
+// LeakFallOff falls off the end of the function while holding.
+func LeakFallOff(n int) {
+	_ = n
+	s := parallel.GetScratch[byte](n) // want "scratch buffer s is not Released on every return path"
+	s.S[0] = 1
+}
+
+// CleanDefer releases via defer, which covers every path.
+func CleanDefer(n int) int {
+	s := parallel.GetScratch[int](n)
+	defer s.Release()
+	if n > 10 {
+		return 0
+	}
+	return len(s.S)
+}
+
+// CleanBothPaths releases explicitly on each path.
+func CleanBothPaths(n int) int {
+	s := parallel.GetScratch[int](n)
+	if n > 10 {
+		s.Release()
+		return 0
+	}
+	s.Release()
+	return 1
+}
+
+// CleanReturn transfers ownership to the caller.
+func CleanReturn(n int) *parallel.Scratch[int] {
+	s := parallel.GetScratch[int](n)
+	return s
+}
+
+func consume(s *parallel.Scratch[int]) {
+	s.Release()
+}
+
+// CleanHandOff transfers ownership by passing the scratch along.
+func CleanHandOff(n int) {
+	s := parallel.GetScratch[int](n)
+	consume(s)
+}

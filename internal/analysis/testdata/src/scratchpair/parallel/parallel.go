@@ -1,0 +1,14 @@
+// Package parallel is a fixture stand-in for julienne's pooled-scratch
+// API: the scratchpair analyzer keys on the *parallel.Scratch[T] type
+// and the GetScratch name.
+package parallel
+
+type Scratch[T any] struct {
+	S []T
+}
+
+func GetScratch[T any](n int) *Scratch[T] {
+	return &Scratch[T]{S: make([]T, n)}
+}
+
+func (s *Scratch[T]) Release() {}

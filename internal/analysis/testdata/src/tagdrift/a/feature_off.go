@@ -1,0 +1,20 @@
+//go:build !feature
+
+// Fixture for the tagdrift analyzer: the two halves of a tag pair must
+// declare matching signatures. This is the active (untagged) half.
+package a
+
+// Enabled exists on both sides with different values: clean.
+const Enabled = false
+
+// hook matches the _on half up to parameter names: clean.
+func hook(n int) {}
+
+// offOnly has no counterpart in the _on half.
+func offOnly() {} // want "tag drift: func offOnly\\(\\) has no matching declaration in feature_on.go"
+
+// sized drifted: the _on half takes int64.
+func sized(n int) {} // want "tag drift: func sized\\(int\\) has no matching declaration in feature_on.go"
+
+// shadow is empty in the release half; methods on it are pair-private.
+type shadow struct{}

@@ -1,0 +1,22 @@
+//go:build feature
+
+// Tagged half of the pair; build-excluded, so it is parsed but not
+// type-checked — tagdrift compares it syntactically.
+package a
+
+const Enabled = true
+
+func hook(k int) {}
+
+func onOnly(x int) int { return x } // want "tag drift: func onOnly\\(int\\)\\(int\\) has no matching declaration in feature_off.go"
+
+func sized(n int64) {} // want "tag drift: func sized\\(int64\\) has no matching declaration in feature_off.go"
+
+// shadow is declared on both sides (shared code may reference it), but
+// its helper method is pair-private implementation detail: exempt even
+// though the _off half declares no counterpart.
+type shadow struct {
+	count int64
+}
+
+func (s *shadow) helper() { s.count++ }

@@ -1,0 +1,6 @@
+//go:build feature
+
+// A tagged _on file with no _off counterpart at all.
+package b // want "tag-paired file lonely_on.go has no matching lonely_off.go"
+
+const Orphan = true

@@ -1,0 +1,165 @@
+//go:build julienne_debug
+
+package bucket
+
+import "fmt"
+
+// This file is the julienne_debug half of the assertion pair declared
+// in debug_off.go: building with `-tags julienne_debug` compiles the
+// bucket structure's internal contract into every operation, so the
+// property tests in internal/proptest exercise the §3 invariants
+// directly rather than only end-to-end algorithm outputs. The checks
+// are deliberately O(work) per operation — debug builds are for tests,
+// not benchmarks.
+//
+// Invariants asserted:
+//
+//   - extraction liveness: every identifier returned by NextBucket has
+//     D(i) equal to the returned bucket id, is unique within the
+//     returned slice, and is a valid identifier;
+//   - traversal monotonicity: bucket ids returned by NextBucket are
+//     non-decreasing under Increasing order (non-increasing under
+//     Decreasing) — non-strict, because algorithms legally reinsert
+//     into the current bucket;
+//   - update destinations: every non-None Dest passed to UpdateBuckets
+//     addresses a real physical slot (open range or overflow);
+//   - bookkeeping: each UpdateBuckets call moves + skips exactly its k
+//     requests, and the cumulative Stats counters agree with shadow
+//     counts maintained here;
+//   - single live copy: across the whole structure, each identifier
+//     has at most one live copy (a stored copy whose slot matches its
+//     current D value) — stale copies from lazy deletion may be
+//     plentiful, live ones may not.
+
+// DebugEnabled reports whether invariant assertions are compiled in.
+const DebugEnabled = true
+
+// debugState is the shadow bookkeeping behind the assertions.
+type debugState struct {
+	last      ID
+	hasLast   bool
+	extracted int64
+	returned  int64
+	moved     int64
+	skipped   int64
+}
+
+func (d *debugState) checkExtract(order Order, cur ID, live []uint32, n int, dfn func(uint32) ID, s Stats) {
+	if d.hasLast {
+		if order == Increasing && cur < d.last {
+			panic(fmt.Sprintf("bucket debug: NextBucket returned %d after %d under Increasing order", cur, d.last))
+		}
+		if order == Decreasing && cur > d.last {
+			panic(fmt.Sprintf("bucket debug: NextBucket returned %d after %d under Decreasing order", cur, d.last))
+		}
+	}
+	d.last, d.hasLast = cur, true
+	seen := make(map[uint32]struct{}, len(live))
+	for _, id := range live {
+		if n >= 0 && int(id) >= n {
+			panic(fmt.Sprintf("bucket debug: extracted identifier %d out of range [0,%d)", id, n))
+		}
+		if got := dfn(id); got != cur {
+			panic(fmt.Sprintf("bucket debug: extracted identifier %d from bucket %d but D(i)=%d", id, cur, got))
+		}
+		if _, dup := seen[id]; dup {
+			panic(fmt.Sprintf("bucket debug: identifier %d extracted twice from bucket %d", id, cur))
+		}
+		seen[id] = struct{}{}
+	}
+	d.extracted += int64(len(live))
+	d.returned++
+	if s.Extracted != d.extracted || s.BucketsReturned != d.returned {
+		panic(fmt.Sprintf("bucket debug: Stats extraction bookkeeping (Extracted=%d BucketsReturned=%d) diverged from shadow (%d, %d)",
+			s.Extracted, s.BucketsReturned, d.extracted, d.returned))
+	}
+}
+
+func (d *debugState) checkUpdateTotals(k int, moved, skipped int64, s Stats) {
+	if moved+skipped != int64(k) {
+		panic(fmt.Sprintf("bucket debug: UpdateBuckets(k=%d) accounted for moved=%d + skipped=%d requests", k, moved, skipped))
+	}
+	d.moved += moved
+	d.skipped += skipped
+	if s.Moved != d.moved || s.Skipped != d.skipped {
+		panic(fmt.Sprintf("bucket debug: Stats update bookkeeping (Moved=%d Skipped=%d) diverged from shadow (%d, %d)",
+			s.Moved, s.Skipped, d.moved, d.skipped))
+	}
+}
+
+func (b *Par) debugReset() { b.dbg = debugState{} }
+
+func (b *Par) debugCheckExtract(cur ID, live []uint32) {
+	b.dbg.checkExtract(b.order, cur, live, b.n, b.d, b.Stats())
+}
+
+func (b *Par) debugCheckUpdate(k int, f func(int) (uint32, Dest)) {
+	for j := 0; j < k; j++ {
+		id, dest := f(j)
+		if dest == None {
+			continue
+		}
+		if int(id) >= b.n {
+			panic(fmt.Sprintf("bucket debug: update %d targets identifier %d out of range [0,%d)", j, id, b.n))
+		}
+		if int(dest) > b.nB {
+			panic(fmt.Sprintf("bucket debug: update %d has destination slot %d beyond overflow slot %d", j, dest, b.nB))
+		}
+	}
+}
+
+func (b *Par) debugCheckUpdateTotals(k int, moved, skipped int64) {
+	b.dbg.checkUpdateTotals(k, moved, skipped, b.Stats())
+}
+
+// debugCheckStructure walks every physical slot and asserts the single
+// live copy invariant: an identifier may have stale copies anywhere,
+// but at most one copy whose location matches its current D value
+// (open slot with matching logical id, or the overflow slot while D is
+// beyond the open range). Two live copies of one identifier would make
+// NextBucket extract it twice.
+func (b *Par) debugCheckStructure() {
+	if b.done {
+		return
+	}
+	live := make(map[uint32]int)
+	check := func(slot int, ids []uint32, overflow bool) {
+		for _, id := range ids {
+			if int(id) >= b.n {
+				panic(fmt.Sprintf("bucket debug: slot %d stores identifier %d out of range [0,%d)", slot, id, b.n))
+			}
+			d := b.d(id)
+			isLive := false
+			if overflow {
+				isLive = b.beyond(d)
+			} else {
+				isLive = d == b.logical(slot)
+			}
+			if isLive {
+				live[id]++
+				if live[id] > 1 {
+					panic(fmt.Sprintf("bucket debug: identifier %d has %d live copies (D=%d)", id, live[id], d))
+				}
+			}
+		}
+	}
+	for slot := 0; slot <= b.nB; slot++ {
+		bk := &b.bkts[slot]
+		n := 0
+		for _, chunk := range bk.chunks {
+			check(slot, chunk, slot == b.nB)
+			n += len(chunk)
+		}
+		if n != bk.n {
+			panic(fmt.Sprintf("bucket debug: slot %d chunks hold %d identifiers but n is %d", slot, n, bk.n))
+		}
+	}
+}
+
+func (s *Seq) debugCheckExtract(cur ID, live []uint32) {
+	s.dbg.checkExtract(s.order, cur, live, -1, s.d, s.Stats())
+}
+
+func (s *Seq) debugCheckUpdateTotals(k int, moved, skipped int64) {
+	s.dbg.checkUpdateTotals(k, moved, skipped, s.Stats())
+}

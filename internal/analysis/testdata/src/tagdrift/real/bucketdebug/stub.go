@@ -1,0 +1,18 @@
+// Stub declarations so the verbatim copy of internal/bucket's
+// debug_off.go (the active half of the pair) type-checks inside the
+// fixture tree. Only the identifiers the release half mentions are
+// needed; the tagged half is parse-only. If the real files gain new
+// dependencies, extend this stub when refreshing the copies.
+package bucket
+
+type ID uint32
+
+type Dest uint64
+
+type Par struct {
+	debug debugState
+}
+
+type Seq struct {
+	debug debugState
+}

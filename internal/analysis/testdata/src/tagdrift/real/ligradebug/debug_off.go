@@ -1,0 +1,9 @@
+//go:build !julienne_debug
+
+package ligra
+
+import "julienne/internal/graph"
+
+// Release half of the julienne_debug assertion pair; see debug_on.go.
+
+func debugCheckSparse(n int, ids []graph.Vertex) {}

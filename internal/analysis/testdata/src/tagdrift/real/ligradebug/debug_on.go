@@ -1,0 +1,29 @@
+//go:build julienne_debug
+
+package ligra
+
+import (
+	"fmt"
+
+	"julienne/internal/graph"
+)
+
+// Debug half of the julienne_debug assertion pair (see the matching
+// files in internal/bucket). VertexSubset documents that sparse inputs
+// hold distinct in-range vertex ids — a duplicate or out-of-range id
+// makes edgeMap visit neighbors twice or index out of bounds in the
+// dense conversion — so tagged builds verify the contract at the one
+// place sparse slices enter the model.
+
+func debugCheckSparse(n int, ids []graph.Vertex) {
+	seen := make(map[graph.Vertex]struct{}, len(ids))
+	for _, v := range ids {
+		if int(v) >= n {
+			panic(fmt.Sprintf("ligra debug: sparse subset id %d out of range [0,%d)", v, n))
+		}
+		if _, dup := seen[v]; dup {
+			panic(fmt.Sprintf("ligra debug: sparse subset contains duplicate id %d", v))
+		}
+		seen[v] = struct{}{}
+	}
+}

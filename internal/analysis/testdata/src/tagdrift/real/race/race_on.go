@@ -1,0 +1,9 @@
+//go:build race
+
+package parallel
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// zero-allocation regression tests skip under -race: the detector
+// deliberately randomizes sync.Pool reuse and charges its own
+// bookkeeping allocations to the measured function.
+const RaceEnabled = true

@@ -559,7 +559,9 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	// identifiers at block-exclusive offsets, so no synchronization is
 	// needed within a slot.
 	parallel.For(nb, 1, b.scatterPass)
-	skipped := b.upd.skipped
+	// The scatter workers have quiesced, but the counter is an atomic
+	// cell: load it atomically so the happens-before edge is explicit.
+	skipped := atomic.LoadInt64(&b.upd.skipped)
 	b.upd.f = nil
 	atomic.AddInt64(&b.stats.Moved, int64(total))
 	atomic.AddInt64(&b.stats.Skipped, skipped)

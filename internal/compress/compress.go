@@ -31,8 +31,8 @@ import (
 // signed first-neighbor code), and the decoder reads exactly `degree`
 // entries so trailing stale bytes are unreachable.
 type Graph struct {
+	m         int64 // live edge count (atomic under PackOut); first field so it stays 8-aligned on 32-bit
 	n         int
-	m         int64
 	offs      []uint64 // byte offset of each vertex's encoded list
 	data      []byte
 	degs      []uint32 // live degree per vertex

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"julienne/internal/algo/kcore"
 	"julienne/internal/algo/setcover"
@@ -42,9 +41,8 @@ func (s *Suite) Figure1() {
 	// Application points: (avg identifiers/round, throughput) measured
 	// from each application's bucket statistics over its full run.
 	appPoint := func(name string, run func() bucket.Stats) {
-		start := time.Now()
-		st := run()
-		elapsed := time.Since(start)
+		var st bucket.Stats
+		elapsed := harness.Time(func() { st = run() })
 		rounds := st.BucketsReturned
 		if rounds == 0 || elapsed <= 0 {
 			return

@@ -18,8 +18,8 @@ import (
 // vertex's live adjacency is the prefix of its CSR range of length
 // outDeg[v], and m tracks the total live edge count.
 type CSR struct {
+	m         int64 // live directed edge count (atomic under PackOut); first field so it stays 8-aligned on 32-bit
 	n         int
-	m         int64    // live directed edge count (atomic under PackOut)
 	outOff    []uint64 // len n+1; outOff[v]..outOff[v+1] bound v's range
 	outEdg    []Vertex
 	outWgt    []Weight // nil for unweighted graphs

@@ -28,6 +28,16 @@ func (s Sample) Spread() string {
 	return Ms(s.Min) + ".." + Ms(s.Max)
 }
 
+// Time runs f once and returns its wall-clock duration. It is the
+// single-shot measurement primitive for the CLI drivers; anything
+// reported in a table or figure should prefer TimeMedian's repetition
+// and spread discipline.
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
 // TimeMedian runs f `reps` times and returns the median wall-clock
 // duration together with the sample spread. reps < 1 is treated as 1.
 func TimeMedian(reps int, f func()) Sample {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"julienne/internal/bucket"
+	"julienne/internal/harness"
 	"julienne/internal/rng"
 )
 
@@ -62,45 +63,46 @@ func Run(cfg Config) Point {
 		d[i] = bucket.ID(rng.UintNAt(cfg.Seed, uint64(i), uint64(cfg.Buckets)))
 	}
 
-	start := time.Now()
-	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, cfg.Options)
+	var b *bucket.Par
+	elapsed := harness.Time(func() {
+		b = bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, cfg.Options)
 
-	ids := make([]uint32, 0, 1024)
-	dests := make([]bucket.Dest, 0, 1024)
-	round := uint64(0)
-	for {
-		cur, extracted := b.NextBucket()
-		if cur == bucket.Nil {
-			break
-		}
-		round++
-		ids = ids[:0]
-		dests = dests[:0]
-		for _, id := range extracted {
-			for j := 0; j < cfg.Fanout; j++ {
-				v := uint32(rng.UintNAt(cfg.Seed^0x5eed, round<<24|uint64(id)<<3|uint64(j), uint64(n)))
-				prev := d[v]
-				if prev == bucket.Nil {
-					continue
-				}
-				var next bucket.ID
-				if prev > cur {
-					next = max(cur, prev/2)
-				} else {
-					next = bucket.Nil
-				}
-				d[v] = next
-				if dest := b.GetBucket(prev, next); dest != bucket.None {
-					ids = append(ids, v)
-					dests = append(dests, dest)
+		ids := make([]uint32, 0, 1024)
+		dests := make([]bucket.Dest, 0, 1024)
+		round := uint64(0)
+		for {
+			cur, extracted := b.NextBucket()
+			if cur == bucket.Nil {
+				break
+			}
+			round++
+			ids = ids[:0]
+			dests = dests[:0]
+			for _, id := range extracted {
+				for j := 0; j < cfg.Fanout; j++ {
+					v := uint32(rng.UintNAt(cfg.Seed^0x5eed, round<<24|uint64(id)<<3|uint64(j), uint64(n)))
+					prev := d[v]
+					if prev == bucket.Nil {
+						continue
+					}
+					var next bucket.ID
+					if prev > cur {
+						next = max(cur, prev/2)
+					} else {
+						next = bucket.Nil
+					}
+					d[v] = next
+					if dest := b.GetBucket(prev, next); dest != bucket.None {
+						ids = append(ids, v)
+						dests = append(dests, dest)
+					}
 				}
 			}
+			b.UpdateBuckets(len(ids), func(j int) (uint32, bucket.Dest) {
+				return ids[j], dests[j]
+			})
 		}
-		b.UpdateBuckets(len(ids), func(j int) (uint32, bucket.Dest) {
-			return ids[j], dests[j]
-		})
-	}
-	elapsed := time.Since(start)
+	})
 
 	st := b.Stats()
 	p := Point{
