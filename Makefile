@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race debug fuzz bench bench-smoke bench-go check
+.PHONY: all build test vet fmt lint race debug chaos fuzz bench bench-smoke bench-go check
 
 all: check
 
@@ -28,12 +28,14 @@ fmt:
 # nilfunc, ...) plus julvet, the in-repo multichecker that enforces the
 # framework's concurrency and arena contracts (DESIGN.md §8):
 # atomicmix, atomicalign, arenaalias, scratchpair, tagdrift,
-# norandtime. The tagged invocations re-analyze the tree with the other
-# half of each race/julienne_debug file pair active.
+# norandtime, panicguard. The tagged invocations re-analyze the tree
+# with the other half of each race/julienne_debug file pair (and the
+# chaos-injection hooks) active.
 lint: vet
 	$(GO) run ./cmd/julvet ./...
 	$(GO) run ./cmd/julvet -tags race ./...
 	$(GO) run ./cmd/julvet -tags julienne_debug ./...
+	$(GO) run ./cmd/julvet -tags julienne_chaos ./...
 
 race:
 	$(GO) test -race -short ./internal/bucket/... ./internal/obs/... \
@@ -46,6 +48,17 @@ race:
 debug:
 	$(GO) build -tags julienne_debug ./...
 	$(GO) test -tags julienne_debug -short ./internal/bucket/... ./internal/proptest/...
+
+# chaos builds with the julienne_chaos tag, which compiles the
+# schedule-driven fault-injection points into the parallel substrate
+# and bucket structure, then runs the chaos suite under -race: injected
+# worker panics must surface as a single wrapped PanicError on the
+# caller, forced cancellations must leave the run re-runnable, and
+# every schedule must leave goroutine counts and the scratch pool
+# balanced (DESIGN.md §9). Nightly CI raises JULIENNE_CHAOS_SEEDS.
+chaos:
+	$(GO) build -tags julienne_chaos ./...
+	$(GO) test -tags julienne_chaos -race -short ./internal/chaos/
 
 # fuzz smoke: a bounded run of every fuzz target (CI nightly runs this;
 # `go test -fuzz` accepts one target per package invocation).
@@ -75,5 +88,5 @@ bench-smoke:
 bench-go:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: build test lint fmt race debug
+check: build test lint fmt race debug chaos
 	@echo "check: ok"

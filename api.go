@@ -19,6 +19,7 @@ import (
 	"julienne/internal/ligra"
 	"julienne/internal/obs"
 	"julienne/internal/oracle"
+	"julienne/internal/parallel"
 )
 
 // --- graph types ------------------------------------------------------------
@@ -234,6 +235,24 @@ type RoundObserver = obs.RoundObserver
 // Recorder.WriteTrace.
 type TraceEvent = obs.TraceEvent
 
+// --- failure semantics (DESIGN.md §9) ----------------------------------------
+
+// ErrCanceled is the sentinel wrapped by every cancellation error;
+// test with errors.Is(res.Err, julienne.ErrCanceled).
+var ErrCanceled = obs.ErrCanceled
+
+// Canceled reports a cooperatively-canceled run: which algorithm, how
+// many rounds completed, and the underlying cause (context.Canceled,
+// context.DeadlineExceeded, or a custom context cause).
+type Canceled = obs.Canceled
+
+// PanicError wraps a panic raised inside a parallel region (user
+// callback or substrate). The substrate recovers worker panics, joins
+// all workers, releases pooled scratch, and re-raises a single
+// *PanicError on the calling goroutine; Value is the original panic
+// value and Stack the stack of the panicking goroutine.
+type PanicError = parallel.PanicError
+
 // KCoreOptions configures KCoreWithOptions (bucket tuning plus an
 // optional Recorder).
 type KCoreOptions = kcore.Options
@@ -418,6 +437,22 @@ func VertexFilter(u VertexSubset, p func(v Vertex) bool) VertexSubset {
 
 // DensestResult describes an approximately densest subgraph.
 type DensestResult = densest.Result
+
+// DensestOptions configures the densest-subgraph peels (cancellation
+// context and deadline).
+type DensestOptions = densest.Options
+
+// DensestSubgraphWithOptions is DensestSubgraph with cancellation
+// support.
+func DensestSubgraphWithOptions(g Graph, opt DensestOptions) DensestResult {
+	return densest.CharikarWithOptions(g, opt)
+}
+
+// DensestSubgraphBatchWithOptions is DensestSubgraphBatch with
+// cancellation support.
+func DensestSubgraphBatchWithOptions(g Graph, eps float64, opt DensestOptions) DensestResult {
+	return densest.PeelBatchWithOptions(g, eps, opt)
+}
 
 // DensestSubgraph runs the exact greedy 2-approximation (Charikar's
 // peel) work-efficiently on the bucket structure — the natural fifth

@@ -21,6 +21,7 @@ import (
 func main() {
 	impl := flag.String("impl", "charikar", "implementation: charikar|batch")
 	eps := flag.Float64("epsilon", 0.1, "batch peel epsilon")
+	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (0 = no limit)")
 	gf := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -35,17 +36,24 @@ func main() {
 	fmt.Println(cli.Describe(g))
 
 	var res densest.Result
+	dopt := densest.Options{Deadline: harness.DeadlineIn(*timeout)}
 	elapsed := harness.Time(func() {
 		switch *impl {
 		case "charikar":
-			res = densest.Charikar(g)
+			res = densest.CharikarWithOptions(g, dopt)
 		case "batch":
-			res = densest.PeelBatch(g, *eps)
+			res = densest.PeelBatchWithOptions(g, *eps, dopt)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown -impl %q\n", *impl)
 			os.Exit(2)
 		}
 	})
+
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		fmt.Printf("impl=%s PARTIAL rounds=%d density=%.3f\n", *impl, res.Rounds, res.Density)
+		os.Exit(3)
+	}
 
 	whole := float64(g.NumEdges()) / 2 / float64(max(g.NumVertices(), 1))
 	fmt.Printf("impl=%s time=%v rounds=%d\n", *impl, elapsed, res.Rounds)

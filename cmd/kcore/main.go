@@ -28,6 +28,7 @@ func main() {
 	impl := flag.String("impl", "julienne", "implementation: julienne|ligra|bz")
 	hist := flag.Int("hist", 10, "print the top-K coreness histogram buckets")
 	extract := flag.Int("k", -1, "also extract the k-core subgraph for this k (-1 = max core)")
+	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (julienne impl; 0 = no limit)")
 	gf := cli.Register(flag.CommandLine)
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
@@ -45,11 +46,13 @@ func main() {
 	rec := of.Recorder()
 	var cores []uint32
 	var rounds int64 = -1
+	var runErr error
+	deadline := harness.DeadlineIn(*timeout)
 	elapsed := harness.Time(func() {
 		switch *impl {
 		case "julienne":
-			res := kcore.Coreness(g, kcore.Options{Recorder: rec})
-			cores, rounds = res.Coreness, res.Rounds
+			res := kcore.Coreness(g, kcore.Options{Recorder: rec, Deadline: deadline})
+			cores, rounds, runErr = res.Coreness, res.Rounds, res.Err
 		case "ligra":
 			res := kcore.CorenessLigra(g)
 			cores, rounds = res.Coreness, res.Rounds
@@ -60,6 +63,12 @@ func main() {
 			os.Exit(2)
 		}
 	})
+
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		fmt.Printf("impl=%s time=%v PARTIAL rounds=%d\n", *impl, elapsed, rounds)
+		os.Exit(3)
+	}
 
 	kmax := kcore.MaxCoreness(cores)
 	counts := make([]int, kmax+1)

@@ -30,6 +30,7 @@ func main() {
 	eps := flag.Float64("epsilon", 0.01, "bucketing granularity epsilon")
 	file := flag.String("file", "", "load bipartite instance from graph file")
 	seed := flag.Uint64("seed", 2017, "generator seed")
+	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (julienne impl; 0 = no limit)")
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
@@ -49,7 +50,8 @@ func main() {
 	fmt.Printf("instance: sets=%d elements=%d M=%d\n",
 		numSets, g.NumVertices()-numSets, g.NumEdges())
 
-	opt := setcover.Options{Epsilon: *eps, Recorder: of.Recorder()}
+	opt := setcover.Options{Epsilon: *eps, Recorder: of.Recorder(),
+		Deadline: harness.DeadlineIn(*timeout)}
 	var res setcover.Result
 	elapsed := harness.Time(func() {
 		switch *impl {
@@ -64,6 +66,13 @@ func main() {
 			os.Exit(2)
 		}
 	})
+
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		fmt.Printf("impl=%s PARTIAL cover_size=%d rounds=%d sets_inspected=%d\n",
+			*impl, res.CoverSize, res.Rounds, res.SetsInspected)
+		os.Exit(3)
+	}
 
 	if err := setcover.Validate(g, numSets, res.InCover); err != nil {
 		fmt.Fprintln(os.Stderr, "INVALID COVER:", err)

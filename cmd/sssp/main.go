@@ -27,6 +27,7 @@ func main() {
 	algo := flag.String("algo", "delta", "algorithm: wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial")
 	src := flag.Uint("src", 0, "source vertex")
 	delta := flag.Int64("delta", 32768, "delta parameter (delta-stepping variants)")
+	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (bucketed algos; 0 = no limit)")
 	gf := cli.Register(flag.CommandLine)
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 	fmt.Println(cli.Describe(g))
 
 	rec := of.Recorder()
-	opt := sssp.Options{Recorder: rec}
+	opt := sssp.Options{Recorder: rec, Deadline: harness.DeadlineIn(*timeout)}
 	var res sssp.Result
 	s := graph.Vertex(*src)
 	elapsed := harness.Time(func() {
@@ -66,6 +67,13 @@ func main() {
 			os.Exit(2)
 		}
 	})
+
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		fmt.Printf("algo=%s src=%d PARTIAL rounds=%d relaxations=%d edges=%d\n",
+			*algo, s, res.Rounds, res.Relaxations, res.EdgesTraversed)
+		os.Exit(3)
+	}
 
 	reached, maxDist, sum := 0, int64(0), int64(0)
 	for _, d := range res.Dist {

@@ -19,11 +19,26 @@
 package densest
 
 import (
+	"context"
+	"time"
+
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
+
+// Options configures the peeling algorithms.
+type Options struct {
+	// Ctx, when non-nil, is checked once per peeling round; if it is
+	// done the run stops and Result.Err reports a *obs.Canceled with
+	// partial progress. Nil keeps today's zero-overhead behavior.
+	Ctx context.Context
+	// Deadline, when non-zero, stops the run once it passes (checked
+	// once per round, composing with Ctx — whichever trips first).
+	Deadline time.Time
+}
 
 // Result describes a dense subgraph.
 type Result struct {
@@ -33,6 +48,12 @@ type Result struct {
 	Density float64
 	// Rounds is the number of peeling rounds executed.
 	Rounds int64
+	// Err is nil on a completed run, or a *obs.Canceled (wrapping
+	// obs.ErrCanceled) if the run was stopped by Options.Ctx or
+	// Options.Deadline. The partial result is the densest prefix seen
+	// over the completed rounds — a valid subgraph and density, but
+	// without the approximation guarantee.
+	Err error
 }
 
 // Density computes |E(S)|/|S| for an explicit vertex set over g.
@@ -74,6 +95,11 @@ func requireSymmetric(g graph.Graph) {
 // recorded density at the round *before* any vertex of the best
 // prefix falls is at least ρ*/2.
 func Charikar(g graph.Graph) Result {
+	return CharikarWithOptions(g, Options{})
+}
+
+// CharikarWithOptions is Charikar with cancellation support.
+func CharikarWithOptions(g graph.Graph, opt Options) Result {
 	requireSymmetric(g)
 	n := g.NumVertices()
 	if n == 0 {
@@ -92,7 +118,13 @@ func Charikar(g graph.Graph) Result {
 	var rounds int64
 	removedAt := make([]int64, n) // round at which each vertex fell (1-based)
 	var scratch ligra.CountScratch
+	var runErr error
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for alive > 0 {
+		if cause := cancel.Stopped(); cause != nil {
+			runErr = &obs.Canceled{Algo: "densest", Rounds: rounds, Cause: cause}
+			break
+		}
 		// ids aliases the bucket structure's arena: valid only until
 		// the next NextBucket call, and fully consumed this round.
 		k, ids := b.NextBucket()
@@ -160,6 +192,7 @@ func Charikar(g graph.Graph) Result {
 		Vertices: survivorsOfSize(removedAt, bestAlive),
 		Density:  bestDensity,
 		Rounds:   rounds,
+		Err:      runErr,
 	}
 }
 
@@ -199,6 +232,11 @@ func survivorsOfSize(removedAt []int64, want int64) []graph.Vertex {
 // intermediate S is a (2+2ε)-approximation, reached in
 // O(log_{1+ε} n) rounds.
 func PeelBatch(g graph.Graph, eps float64) Result {
+	return PeelBatchWithOptions(g, eps, Options{})
+}
+
+// PeelBatchWithOptions is PeelBatch with cancellation support.
+func PeelBatchWithOptions(g graph.Graph, eps float64, opt Options) Result {
 	requireSymmetric(g)
 	if eps <= 0 {
 		eps = 0.1
@@ -219,7 +257,13 @@ func PeelBatch(g graph.Graph, eps float64) Result {
 	round := uint32(0)
 	var rounds int64
 	var scratch ligra.CountScratch
+	var runErr error
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for alive > 0 {
+		if cause := cancel.Stopped(); cause != nil {
+			runErr = &obs.Canceled{Algo: "densest", Rounds: rounds, Cause: cause}
+			break
+		}
 		rounds++
 		round++
 		rho := float64(liveEdges) / float64(alive)
@@ -272,5 +316,6 @@ func PeelBatch(g graph.Graph, eps float64) Result {
 		Vertices: survivorsOfSize(removedAt, bestAlive),
 		Density:  bestDensity,
 		Rounds:   rounds,
+		Err:      runErr,
 	}
 }

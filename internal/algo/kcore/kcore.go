@@ -21,7 +21,9 @@
 package kcore
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
@@ -39,6 +41,13 @@ type Options struct {
 	// per peeling round plus the bucket structure's counters. Nil
 	// disables telemetry with only nil-check overhead.
 	Recorder *obs.Recorder
+	// Ctx, when non-nil, is checked once per peeling round; if it is
+	// done the run stops and Result.Err reports a *obs.Canceled with
+	// partial progress. Nil keeps today's zero-overhead behavior.
+	Ctx context.Context
+	// Deadline, when non-zero, stops the run once it passes (checked
+	// once per round, composing with Ctx — whichever trips first).
+	Deadline time.Time
 }
 
 // Result carries the coreness values along with the measurements the
@@ -58,6 +67,11 @@ type Result struct {
 	VerticesScanned int64
 	// EdgesTraversed counts neighbor visits.
 	EdgesTraversed int64
+	// Err is nil on a completed run, or a *obs.Canceled (wrapping
+	// obs.ErrCanceled) if the run was stopped by Options.Ctx or
+	// Options.Deadline. The partial Coreness values cover exactly the
+	// peeled vertices; the counters cover the completed rounds.
+	Err error
 }
 
 func requireSymmetric(g graph.Graph) {
@@ -94,7 +108,12 @@ func Coreness(g graph.Graph, opt Options) Result {
 	finished := 0
 	var edges int64
 	var prevStats bucket.Stats
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for finished < n {
+		if cause := cancel.Stopped(); cause != nil {
+			res.Err = &obs.Canceled{Algo: "kcore", Rounds: res.Rounds, Cause: cause}
+			break
+		}
 		// ids aliases the bucket structure's arena: valid only until
 		// the next NextBucket call, and fully consumed this round.
 		k, ids := b.NextBucket()

@@ -55,7 +55,12 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 	elmUncovered := func(_, e graph.Vertex) bool { return covered[e] == 0 }
 	emOpts := ligra.EdgeMapOptions{NoDense: true, NoOutput: true, Recorder: rec}
 	var prevStats bucket.Stats
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
+		if cause := cancel.Stopped(); cause != nil {
+			res.Err = &obs.Canceled{Algo: "setcover", Rounds: res.Rounds, Cause: cause}
+			break
+		}
 		// sets aliases the bucket structure's arena: valid only until
 		// the next NextBucket call, and fully consumed this round.
 		bkt, sets := b.NextBucket()

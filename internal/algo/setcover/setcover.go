@@ -24,8 +24,10 @@
 package setcover
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
@@ -51,6 +53,14 @@ type Options struct {
 	// per MaNIS round plus bucket and edgeMap counters (Approx only).
 	// Nil disables telemetry with only nil-check overhead.
 	Recorder *obs.Recorder
+	// Ctx, when non-nil, is checked once per MaNIS round (Approx only);
+	// if it is done the run stops and Result.Err reports a
+	// *obs.Canceled with partial progress. Nil keeps today's
+	// zero-overhead behavior.
+	Ctx context.Context
+	// Deadline, when non-zero, stops the run once it passes (checked
+	// once per round, composing with Ctx — whichever trips first).
+	Deadline time.Time
 }
 
 func (o Options) epsilon() float64 {
@@ -75,6 +85,11 @@ type Result struct {
 	SetsInspected int64
 	// BucketStats is the bucket-structure traffic (Approx only).
 	BucketStats bucket.Stats
+	// Err is nil on a completed run, or a *obs.Canceled (wrapping
+	// obs.ErrCanceled) if the run was stopped by Options.Ctx or
+	// Options.Deadline. A partial InCover is a valid partial cover but
+	// not a (1+ε)·H_n-approximate one.
+	Err error
 }
 
 // bucketizer precomputes the ⌊log_{1+ε} d⌋ mapping. Degrees are small

@@ -1,6 +1,9 @@
 package sssp
 
 import (
+	"context"
+	"time"
+
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
@@ -16,6 +19,13 @@ type Options struct {
 	// per ∆-stepping round plus the bucket structure's counters. Nil
 	// disables telemetry with only nil-check overhead.
 	Recorder *obs.Recorder
+	// Ctx, when non-nil, is checked once per bucket round; if it is
+	// done the run stops and Result.Err reports a *obs.Canceled with
+	// partial progress. Nil keeps today's zero-overhead behavior.
+	Ctx context.Context
+	// Deadline, when non-zero, stops the run once it passes (checked
+	// once per round, composing with Ctx — whichever trips first).
+	Deadline time.Time
 }
 
 // DeltaStepping implements Algorithm 2 of the paper: bucketed
@@ -57,7 +67,12 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 	always := func(graph.Vertex) bool { return true }
 	var prevStats bucket.Stats
 	var prevRelax int64
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
+		if cause := cancel.Stopped(); cause != nil {
+			res.Err = &obs.Canceled{Algo: "sssp", Rounds: res.Rounds, Cause: cause}
+			break
+		}
 		// ids aliases the bucket structure's arena: valid only until
 		// the next NextBucket call, and fully consumed this round.
 		id, ids := b.NextBucket()

@@ -7,6 +7,7 @@ import (
 	"julienne/internal/bucket"
 	"julienne/internal/graph"
 	"julienne/internal/ligra"
+	"julienne/internal/obs"
 	"julienne/internal/parallel"
 )
 
@@ -73,7 +74,12 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		active   bool
 	}
 
+	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
+		if cause := cancel.Stopped(); cause != nil {
+			res.Err = &obs.Canceled{Algo: "sssp", Rounds: res.Rounds, Cause: cause}
+			break
+		}
 		id, ids := b.NextBucket()
 		if id == bucket.Nil {
 			break

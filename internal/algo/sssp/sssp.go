@@ -66,6 +66,12 @@ type Result struct {
 	// BucketStats is the bucket-structure traffic (bucketed algorithms
 	// only).
 	BucketStats bucket.Stats
+	// Err is nil on a completed run, or a *obs.Canceled (wrapping
+	// obs.ErrCanceled) if the run was stopped by Options.Ctx or
+	// Options.Deadline. Dist still covers every vertex, but distances
+	// not yet settled when the run stopped may exceed the true
+	// shortest-path distance (or be Unreachable).
+	Err error
 }
 
 func checkInput(g graph.Graph, src graph.Vertex) {

@@ -44,6 +44,10 @@ func TestNoRandTime(t *testing.T) {
 	RunTest(t, "testdata/src", NoRandTime, "norandtime")
 }
 
+func TestPanicGuard(t *testing.T) {
+	RunTest(t, "testdata/src", PanicGuard, "panicguard")
+}
+
 // TestSuppressionRequiresReason pins the driver rule that a
 // //lint:ignore directive without a reason is itself a diagnostic and
 // suppresses nothing.

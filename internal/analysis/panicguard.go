@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicGuard enforces the panic-containment contract of the parallel
+// substrate (DESIGN.md §9): every goroutine the substrate spawns that
+// calls a caller-supplied function value must install the recover
+// wrapper first, so a panic in user code is captured on the worker and
+// re-raised (once, wrapped) on the calling goroutine instead of
+// crashing the whole process — a panic escaping any non-main goroutine
+// is unconditionally fatal in Go.
+//
+// Concretely, inside package parallel (the only package allowed to
+// spawn raw worker goroutines; everything else goes through its
+// primitives):
+//
+//   - a `go func(){ ... }()` whose body calls a func-typed variable
+//     (parameter, local, or field — i.e. code the caller supplied, as
+//     opposed to a named function or method of the substrate itself)
+//     must have a top-level `defer pc.recoverPanic()` before it;
+//   - `go f(...)` spawning a caller-supplied function value directly is
+//     always flagged: there is no frame to hang the recover on.
+//
+// Deliberate exceptions carry a `//lint:ignore julvet/panicguard
+// reason` directive.
+var PanicGuard = &Analyzer{
+	Name: "panicguard",
+	Doc:  "requires a deferred recoverPanic in parallel worker goroutines that call caller-supplied functions",
+	Run:  runPanicGuard,
+}
+
+func runPanicGuard(pass *Pass) error {
+	// The contract binds the substrate package only: other packages
+	// cannot spawn workers (they use the parallel primitives), and the
+	// fixture tree mirrors this by naming its positive package
+	// "parallel".
+	if pass.Pkg.Name() != "parallel" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkWorkerSpawn(pass, gs)
+			return true // nested go statements are visited separately
+		})
+	}
+	return nil
+}
+
+func checkWorkerSpawn(pass *Pass, gs *ast.GoStmt) {
+	fl, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		if isFuncValue(pass, gs.Call.Fun) {
+			pass.Reportf(gs.Pos(),
+				"caller-supplied function %s spawned directly with go: wrap it in a closure with a deferred recoverPanic so its panics are contained",
+				funcValueName(gs.Call.Fun))
+		}
+		return
+	}
+	if hasRecoverDefer(fl.Body) {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.GoStmt); ok && inner != gs {
+			return false // its own spawn, checked on its own visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isFuncValue(pass, call.Fun) {
+			pass.Reportf(call.Pos(),
+				"caller-supplied function %s called in a worker goroutine without a deferred recoverPanic; a panic here crashes the process",
+				funcValueName(call.Fun))
+		}
+		return true
+	})
+}
+
+// hasRecoverDefer reports whether the goroutine body's top-level
+// statements include `defer x.recoverPanic()` (or a deferred call to a
+// plain recoverPanic helper). Only top-level defers count: a defer
+// buried in a conditional may not be installed when user code runs.
+func hasRecoverDefer(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		ds, ok := st.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fun := ds.Call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "recoverPanic" {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "recoverPanic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isFuncValue reports whether e denotes a function *value* — a
+// variable of function type (parameter, local, struct field) rather
+// than a declared function, method, builtin, or type conversion.
+// Caller-supplied callbacks always arrive as values; the substrate's
+// own helpers are declared functions and methods.
+func isFuncValue(pass *Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isFunc := v.Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+func funcValueName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return "value"
+}

@@ -12,6 +12,7 @@ func All() []*Analyzer {
 		ScratchPair,
 		TagDrift,
 		NoRandTime,
+		PanicGuard,
 	}
 }
 

@@ -1,0 +1,12 @@
+// Package other shows the analyzer is scoped to the substrate: the
+// same unprotected shapes outside package parallel are not flagged
+// (other packages do not spawn substrate workers; their goroutines are
+// governed by ordinary code review, not this contract).
+package other
+
+func spawn(body func()) {
+	go body()
+	go func() {
+		body()
+	}()
+}

@@ -1,0 +1,96 @@
+// Package parallel is the positive fixture for panicguard: it mirrors
+// the substrate's worker-spawn shapes. The analyzer keys on the
+// package name, so these declarations trip it.
+package parallel
+
+import "sync"
+
+type panicCatcher struct{ got any }
+
+func (pc *panicCatcher) recoverPanic() {
+	if v := recover(); v != nil {
+		pc.got = v
+	}
+}
+
+func recoverPanic() {
+	recover()
+}
+
+// goodBlocked is the canonical protected worker: defer recoverPanic
+// before the caller-supplied body runs.
+func goodBlocked(n int, body func(lo, hi int)) {
+	var pc panicCatcher
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pc.recoverPanic()
+		body(0, n)
+	}()
+	wg.Wait()
+}
+
+// goodPlainHelper accepts the package-level recoverPanic helper too.
+func goodPlainHelper(body func()) {
+	go func() {
+		defer recoverPanic()
+		body()
+	}()
+}
+
+// badUnprotected calls the caller-supplied body with no recover
+// wrapper: a panic in body crashes the process.
+func badUnprotected(n int, body func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body(0, n) // want "caller-supplied function body called in a worker goroutine without a deferred recoverPanic"
+	}()
+	wg.Wait()
+}
+
+// badConditionalDefer installs the wrapper only on one branch; only
+// top-level defers count.
+func badConditionalDefer(cond bool, body func()) {
+	var pc panicCatcher
+	go func() {
+		if cond {
+			defer pc.recoverPanic()
+		}
+		body() // want "caller-supplied function body called in a worker goroutine"
+	}()
+}
+
+// badDirectSpawn spawns the caller's function value with no frame to
+// hang a recover on.
+func badDirectSpawn(thunk func()) {
+	go thunk() // want "caller-supplied function thunk spawned directly with go"
+}
+
+// goodNamedFunc: calls to declared functions and methods of the
+// substrate itself are not caller-supplied values.
+func helper() {}
+
+func goodNamedFunc() {
+	go func() {
+		helper()
+	}()
+}
+
+// goodNestedSpawnCheckedSeparately: the outer goroutine is clean; the
+// inner one is flagged on its own visit, once.
+func goodNestedSpawnCheckedSeparately(body func()) {
+	go func() {
+		go func() {
+			body() // want "caller-supplied function body called in a worker goroutine"
+		}()
+	}()
+}
+
+// suppressedSpawn pins the escape hatch.
+func suppressedSpawn(thunk func()) {
+	//lint:ignore julvet/panicguard fixture pins the suppression path
+	go thunk()
+}

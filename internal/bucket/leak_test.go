@@ -1,0 +1,53 @@
+package bucket
+
+import (
+	"testing"
+
+	"julienne/internal/harness"
+	"julienne/internal/parallel"
+	"julienne/internal/rng"
+)
+
+// TestDrainLeavesNoGoroutinesOrScratch pins the structure's share of
+// the failure-semantics contract on the happy path: a full
+// extract/update/drain cycle joins every worker the substrate spawned
+// and returns every pooled scratch buffer.
+func TestDrainLeavesNoGoroutinesOrScratch(t *testing.T) {
+	defer harness.LeakCheck(t)()
+	const n = 20_000
+	d := make([]ID, n)
+	for i := range d {
+		d[i] = ID(rng.Hash64(uint64(i)) % 64)
+	}
+	b := New(n, func(i uint32) ID { return d[i] }, Increasing, Options{})
+	seen := 0
+	for {
+		k, ids := b.NextBucket()
+		if k == Nil {
+			break
+		}
+		seen += len(ids)
+		// Push a fraction of each bucket one bucket up, exercising
+		// UpdateBuckets (and its scratch traffic) mid-drain. The moves
+		// are precomputed because the update callback must be pure (it
+		// runs once in the count pass and once in the scatter pass).
+		var mvIDs []uint32
+		var mvDest []Dest
+		for _, v := range ids {
+			if v%3 == 0 && d[v] < 63 {
+				d[v]++
+				mvIDs = append(mvIDs, v)
+				mvDest = append(mvDest, b.GetBucket(Nil, d[v]))
+			}
+		}
+		b.UpdateBuckets(len(mvIDs), func(j int) (uint32, Dest) {
+			return mvIDs[j], mvDest[j]
+		})
+	}
+	if seen < n {
+		t.Fatalf("drained %d of %d identifiers", seen, n)
+	}
+	if bal := parallel.ScratchStats(); !bal.Balanced() {
+		t.Errorf("scratch pool imbalance after drain: %d gets, %d puts", bal.Gets, bal.Puts)
+	}
+}

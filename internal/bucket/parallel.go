@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"julienne/internal/chaos"
 	"julienne/internal/obs"
 	"julienne/internal/parallel"
 	"julienne/internal/semisort"
@@ -378,6 +379,9 @@ func (b *Par) GetBucket(prev, next ID) Dest {
 func (b *Par) NextBucket() (ID, []uint32) {
 	if b.done {
 		return Nil, nil
+	}
+	if chaos.Enabled {
+		chaos.Point(chaos.SiteRound)
 	}
 	b.debugCheckStructure()
 	for {

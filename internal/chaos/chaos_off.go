@@ -1,0 +1,18 @@
+//go:build !julienne_chaos
+
+package chaos
+
+// Enabled reports whether chaos injection is compiled in. False here:
+// the production build. Instrumentation sites read it as a constant
+// guard, so the calls below are never reached and the compiler drops
+// them entirely.
+const Enabled = false
+
+// Arm is a no-op without the julienne_chaos tag.
+func Arm(plan Plan) {}
+
+// Disarm is a no-op without the julienne_chaos tag.
+func Disarm() {}
+
+// Point is a no-op without the julienne_chaos tag.
+func Point(s Site) {}

@@ -1,0 +1,49 @@
+//go:build julienne_chaos
+
+package chaos
+
+import "time"
+
+// Enabled reports whether chaos injection is compiled in. Every
+// instrumentation site is guarded by it, so production builds carry no
+// chaos code at all.
+const Enabled = true
+
+// Arm installs plan as the active injection schedule, resetting all
+// hit counters. Arming replaces any previous schedule.
+func Arm(plan Plan) {
+	active.Store(&armed{plan: plan})
+}
+
+// Disarm removes the active schedule; subsequent Point calls are
+// no-ops until the next Arm.
+func Disarm() {
+	active.Store(nil)
+}
+
+// Point is one instrumentation site. Production call sites guard it
+// with chaos.Enabled, so this body only ever runs in chaos builds.
+func Point(s Site) {
+	a := active.Load()
+	if a == nil {
+		return
+	}
+	hit := a.hits[s].Add(1)
+	switch s {
+	case SiteWorker:
+		if k := a.plan.PanicAtWorker; k != 0 && hit == k {
+			panic(Injected{Site: s, Hit: hit})
+		}
+	case SiteRound:
+		if k := a.plan.DelayAtRound; k != 0 && hit == k && a.plan.Delay > 0 {
+			time.Sleep(a.plan.Delay)
+		}
+		if k := a.plan.CancelAtRound; k != 0 && hit >= k && a.plan.Cancel != nil {
+			// >= rather than ==: a delay injection on the same round may
+			// reorder hits across goroutines; the CAS keeps it one-shot.
+			if a.canceled.CompareAndSwap(false, true) {
+				a.plan.Cancel()
+			}
+		}
+	}
+}

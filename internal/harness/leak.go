@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs. Taking the
+// interface (rather than *testing.T) keeps this file importable from
+// any package's tests without dragging testing into harness itself.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakCheck snapshots the goroutine count and returns a function that,
+// deferred at the end of the test, verifies the count returned to the
+// baseline. The parallel substrate spawns workers only inside a call
+// and joins them before returning — even on the panic-unwind path — so
+// any surplus goroutine at test end is a leak.
+//
+// Runtime-internal goroutines (GC workers, sync.Pool victims being
+// cleaned, finalizer goroutine) start lazily, so the baseline can
+// legitimately drift upward a little; the checker retries with a short
+// backoff and only reports counts that stay elevated, then dumps all
+// stacks so the leaked goroutine is identifiable.
+//
+//	defer harness.LeakCheck(t)()
+func LeakCheck(t TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		var after int
+		for i := 0; i < 50; i++ {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf)
+	}
+}
+
+// DeadlineIn converts a relative timeout to the absolute deadline the
+// algorithm Options take. A non-positive d returns the zero time,
+// meaning "no deadline" — so a CLI can pass its -timeout flag through
+// unconditionally.
+func DeadlineIn(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}

@@ -105,6 +105,7 @@ func edgeMapSparse(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
 	// capacity across calls, so a round-based traversal stops allocating
 	// once the per-worker high-water marks are reached.
 	pb := workerParts[graph.Vertex](parallel.Procs())
+	defer pb.Release()
 	parts := pb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		local := parts[worker]
@@ -119,9 +120,7 @@ func edgeMapSparse(g graph.Graph, u VertexSubset, c func(graph.Vertex) bool,
 		}
 		parts[worker] = local
 	})
-	out := FromSparse(n, flatten(parts))
-	pb.Release()
-	return out
+	return FromSparse(n, flatten(parts))
 }
 
 // workerParts borrows a buffer-of-buffers (one slice per worker) from
@@ -189,7 +188,9 @@ func EdgeMapTagged[T any](g graph.Graph, u VertexSubset, c func(v graph.Vertex) 
 	n := g.NumVertices()
 	p := parallel.Procs()
 	ib := workerParts[graph.Vertex](p)
+	defer ib.Release()
 	vb := workerParts[T](p)
+	defer vb.Release()
 	idParts, valParts := ib.S, vb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		localIDs := idParts[worker]
@@ -209,10 +210,7 @@ func EdgeMapTagged[T any](g graph.Graph, u VertexSubset, c func(v graph.Vertex) 
 		idParts[worker] = localIDs
 		valParts[worker] = localVals
 	})
-	out := NewTagged(n, flatten(idParts), flatten(valParts))
-	ib.Release()
-	vb.Release()
-	return out
+	return NewTagged(n, flatten(idParts), flatten(valParts))
 }
 
 // EdgeMapCount implements the paper's edgeMapSum (§2.1: edgeMapReduce
@@ -232,6 +230,7 @@ func EdgeMapCount(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
 	cnt := scratch.counts
 	ids := u.Sparse()
 	pb := workerParts[graph.Vertex](parallel.Procs())
+	defer pb.Release()
 	parts := pb.S
 	parallel.Workers(len(ids), func(worker, lo, hi int) {
 		claimed := parts[worker]
@@ -249,7 +248,6 @@ func EdgeMapCount(g graph.Graph, u VertexSubset, c func(v graph.Vertex) bool,
 		parts[worker] = claimed
 	})
 	outIDs := flatten(parts)
-	pb.Release()
 	outVals := make([]uint32, len(outIDs))
 	parallel.For(len(outIDs), parallel.DefaultGrain, func(i int) {
 		v := outIDs[i]

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements the cooperative-cancellation half of the failure
+// semantics (DESIGN.md §9). Algorithms check a CancelCheck once per
+// NextBucket round — never per edge — so cancellation costs one nil
+// check per round when disabled and one select + time comparison when
+// armed. A canceled run returns a *Canceled error wrapping ErrCanceled
+// and carries whatever partial-progress statistics the kernel had
+// accumulated; the bucket structure and scratch arenas are left
+// consistent, so a fresh run on the same graph is correct.
+
+// ErrCanceled is the sentinel all cancellation errors wrap. Callers
+// test with errors.Is(err, obs.ErrCanceled).
+var ErrCanceled = errors.New("julienne: run canceled")
+
+// Canceled reports a cooperatively-canceled run. It wraps both
+// ErrCanceled (so errors.Is works) and the underlying cause
+// (context.Canceled, context.DeadlineExceeded, or a custom context
+// cause), and records how far the run got.
+type Canceled struct {
+	// Algo names the algorithm that was canceled ("kcore", "sssp", ...).
+	Algo string
+	// Rounds is the number of completed NextBucket (or peeling) rounds
+	// before the cancellation was observed.
+	Rounds int64
+	// Cause is the reason the run stopped: the context's cause or
+	// context.DeadlineExceeded for an expired deadline.
+	Cause error
+}
+
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("julienne: %s canceled after %d rounds: %v", c.Algo, c.Rounds, c.Cause)
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (c *Canceled) Unwrap() []error { return []error{ErrCanceled, c.Cause} }
+
+// CancelCheck is the per-round cancellation probe. The zero value never
+// cancels and its Stopped method is a nil-compare fast path, so
+// algorithms embed the check unconditionally without a per-round cost
+// when no context or deadline was supplied.
+type CancelCheck struct {
+	done     <-chan struct{}
+	ctx      context.Context
+	deadline time.Time
+}
+
+// NewCancelCheck builds a probe from an optional context and an
+// optional absolute deadline; either (or both) may be zero. A context
+// deadline and an explicit deadline compose: whichever trips first
+// stops the run.
+func NewCancelCheck(ctx context.Context, deadline time.Time) CancelCheck {
+	c := CancelCheck{deadline: deadline}
+	if ctx != nil {
+		c.ctx = ctx
+		c.done = ctx.Done()
+	}
+	return c
+}
+
+// Stopped returns nil while the run may continue, or the cause once the
+// context is done or the deadline has passed. It is called once per
+// round from the algorithm's driver loop (single goroutine).
+func (c *CancelCheck) Stopped() error {
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return context.Cause(c.ctx)
+		default:
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}

@@ -31,6 +31,10 @@ func FilterInto[T any](buf, src []T, pred func(T) bool) []T {
 	if cap(buf) < n {
 		buf = make([]T, 0, n)
 	}
+	// The sequential path calls pred outside any worker wrapper, so it
+	// wraps panics itself to keep the re-raised value uniform (the
+	// parallel path inherits containment from For).
+	defer rewrapPanic()
 	nb, blockSize := filterBlocks(n)
 	if nb == 1 || Procs() == 1 {
 		out := buf[:0]
@@ -43,6 +47,7 @@ func FilterInto[T any](buf, src []T, pred func(T) bool) []T {
 	}
 
 	cb := GetScratch[int](nb)
+	defer cb.Release()
 	counts := cb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -71,7 +76,6 @@ func FilterInto[T any](buf, src []T, pred func(T) bool) []T {
 			}
 		}
 	})
-	cb.Release()
 	return out
 }
 
@@ -104,6 +108,7 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 	if n == 0 {
 		return nil
 	}
+	defer rewrapPanic() // sequential path calls pred unwrapped
 	nb, blockSize := filterBlocks(n)
 	if nb == 1 || Procs() == 1 {
 		out := make([]T, 0, n/4+4)
@@ -117,6 +122,7 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 
 	// Pass 1: count survivors per block.
 	cb := GetScratch[int](nb)
+	defer cb.Release()
 	counts := cb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -148,7 +154,6 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 			}
 		}
 	})
-	cb.Release()
 	return out
 }
 
@@ -157,11 +162,10 @@ func FilterIndex[T any](src []T, pred func(i int, v T) bool) []T {
 // indicator function, e.g. to find bucket boundaries after a semisort.
 func PackIndices(n int, pred func(i int) bool) []uint32 {
 	ib := GetScratch[uint32](n)
+	defer ib.Release()
 	idx := ib.S
 	For(n, DefaultGrain, func(i int) { idx[i] = uint32(i) })
-	out := FilterIndex(idx, func(i int, _ uint32) bool { return pred(i) })
-	ib.Release()
-	return out
+	return FilterIndex(idx, func(i int, _ uint32) bool { return pred(i) })
 }
 
 // MapFilter applies f to every index in [0, n) and keeps the values for
@@ -191,6 +195,7 @@ func MapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) []T {
 // buf's storage when it is large enough. It reports whether the result
 // lives in buf.
 func mapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) ([]T, bool) {
+	defer rewrapPanic() // sequential path calls f unwrapped
 	nb, blockSize := filterBlocks(n)
 	if nb == 1 || Procs() == 1 {
 		out := buf[:0]
@@ -208,6 +213,7 @@ func mapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) ([]T, bool) {
 	// capacity across calls, so repeated MapFilters stop allocating once
 	// the per-block high-water marks are reached.
 	pb := GetScratch[[]T](nb)
+	defer pb.Release()
 	parts := pb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -233,6 +239,5 @@ func mapFilterInto[T any](buf []T, n int, f func(i int) (T, bool)) ([]T, bool) {
 	for b := 0; b < nb; b++ {
 		out = append(out, parts[b]...)
 	}
-	pb.Release()
 	return out, fromBuf
 }

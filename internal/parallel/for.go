@@ -20,6 +20,8 @@ package parallel
 import (
 	"runtime"
 	"sync"
+
+	"julienne/internal/chaos"
 )
 
 // DefaultGrain is the block size used when a caller passes grain <= 0.
@@ -51,20 +53,28 @@ func numBlocks(n, grain int) int {
 // Blocks have at least `grain` items (except possibly the last), and at
 // most 4*GOMAXPROCS blocks are created so oversubscription stays bounded
 // while still smoothing out block-to-block load imbalance.
+//
+// A panic in body is contained: all workers join, and a single wrapped
+// *PanicError re-raises on the caller (see panics.go for the contract).
 func Blocked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	defer rewrapPanic()
 	p := Procs()
 	nb := numBlocks(n, grain)
 	if maxb := 4 * p; nb > maxb {
 		nb = maxb
 	}
 	if p == 1 || nb == 1 {
+		if chaos.Enabled {
+			chaos.Point(chaos.SiteWorker)
+		}
 		body(0, n)
 		return
 	}
 	blockSize := (n + nb - 1) / nb
+	var pc panicCatcher
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += blockSize {
 		hi := lo + blockSize
@@ -74,10 +84,15 @@ func Blocked(n, grain int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.recoverPanic()
+			if chaos.Enabled {
+				chaos.Point(chaos.SiteWorker)
+			}
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // For runs body(i) for every i in [0, n) in parallel with the given grain.
@@ -89,6 +104,10 @@ func For(n, grain int, body func(i int)) {
 	}
 	nb := numBlocks(n, grain)
 	if Procs() == 1 || nb == 1 {
+		defer rewrapPanic()
+		if chaos.Enabled {
+			chaos.Point(chaos.SiteWorker)
+		}
 		for i := 0; i < n; i++ {
 			body(i)
 		}
@@ -103,26 +122,37 @@ func For(n, grain int, body func(i int)) {
 
 // Do runs each of the given thunks, in parallel when GOMAXPROCS allows.
 // It is the binary/n-ary fork-join used for divide-and-conquer helpers.
+// A panic in any thunk (including the one run on the caller's own
+// goroutine) surfaces only after every thunk has finished.
 func Do(thunks ...func()) {
 	if len(thunks) == 0 {
 		return
 	}
+	defer rewrapPanic()
 	if Procs() == 1 || len(thunks) == 1 {
+		// Every thunk runs even if an earlier one panics, matching the
+		// parallel path (where the spawned thunks are already running
+		// when the inline one unwinds); the first panic re-raises after.
+		var pc panicCatcher
 		for _, t := range thunks {
-			t()
+			pc.protect(t)
 		}
+		pc.rethrow()
 		return
 	}
+	var pc panicCatcher
 	var wg sync.WaitGroup
 	wg.Add(len(thunks) - 1)
 	for _, t := range thunks[1:] {
 		go func(t func()) {
 			defer wg.Done()
+			defer pc.recoverPanic()
 			t()
 		}(t)
 	}
-	thunks[0]()
+	pc.protect(thunks[0])
 	wg.Wait()
+	pc.rethrow()
 }
 
 // Workers partitions [0, n) into exactly one contiguous block per worker
@@ -133,15 +163,20 @@ func Workers(n int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	defer rewrapPanic()
 	p := Procs()
 	if p > n {
 		p = n
 	}
 	if p == 1 {
+		if chaos.Enabled {
+			chaos.Point(chaos.SiteWorker)
+		}
 		body(0, 0, n)
 		return
 	}
 	blockSize := (n + p - 1) / p
+	var pc panicCatcher
 	var wg sync.WaitGroup
 	w := 0
 	for lo := 0; lo < n; lo += blockSize {
@@ -152,9 +187,14 @@ func Workers(n int, body func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer pc.recoverPanic()
+			if chaos.Enabled {
+				chaos.Point(chaos.SiteWorker)
+			}
 			body(w, lo, hi)
 		}(w, lo, hi)
 		w++
 	}
 	wg.Wait()
+	pc.rethrow()
 }

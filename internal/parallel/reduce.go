@@ -17,6 +17,7 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	if n <= 0 {
 		return id
 	}
+	defer rewrapPanic() // sequential path calls f/op unwrapped
 	nb := numBlocks(n, grain)
 	if p := 4 * Procs(); nb > p {
 		nb = p
@@ -31,6 +32,7 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	blockSize := (n + nb - 1) / nb
 	nb = (n + blockSize - 1) / blockSize
 	pb := GetScratch[T](nb)
+	defer pb.Release()
 	partial := pb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -44,7 +46,6 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	for _, v := range partial {
 		acc = op(acc, v)
 	}
-	pb.Release()
 	return acc
 }
 

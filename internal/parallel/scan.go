@@ -47,6 +47,7 @@ func Scan[T Number](dst, src []T) T {
 	}
 
 	sb := GetScratch[T](nb)
+	defer sb.Release()
 	sums := sb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -73,7 +74,6 @@ func Scan[T Number](dst, src []T) T {
 			acc += v
 		}
 	})
-	sb.Release()
 	return total
 }
 
@@ -100,13 +100,12 @@ func ScanInclusive[T Number](dst, src []T) T {
 	// Partial overlap: writing dst[i] could clobber an src[j] (j != i)
 	// another block has yet to read. Copy src out of harm's way first.
 	tb := GetScratch[T](n)
+	defer tb.Release()
 	tmp := tb.S
 	Blocked(n, DefaultGrain, func(lo, hi int) {
 		copy(tmp[lo:hi], src[lo:hi])
 	})
-	total := scanInclusiveInto(dst, tmp)
-	tb.Release()
-	return total
+	return scanInclusiveInto(dst, tmp)
 }
 
 // scanInclusiveInto is the inclusive two-pass blocked scan. It requires
@@ -125,6 +124,7 @@ func scanInclusiveInto[T Number](dst, src []T) T {
 	}
 
 	sb := GetScratch[T](nb)
+	defer sb.Release()
 	sums := sb.S
 	For(nb, 1, func(b int) {
 		lo, hi := b*blockSize, min((b+1)*blockSize, n)
@@ -150,7 +150,6 @@ func scanInclusiveInto[T Number](dst, src []T) T {
 			dst[i] = acc
 		}
 	})
-	sb.Release()
 	return total
 }
 

@@ -3,6 +3,7 @@ package parallel
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the pooled scratch buffers behind the
@@ -42,15 +43,47 @@ func poolOf[T any]() *sync.Pool {
 	return p.(*sync.Pool)
 }
 
+// scratchGets/scratchPuts count pool borrows and returns. Every
+// GetScratch site in the repository pairs with a deferred Release, so
+// at any quiescent point (no parallel primitive mid-flight) the two
+// counters are equal — even after a contained panic unwound the region
+// that held the buffer. The failure-semantics tests pin exactly that
+// invariant; the counters are two uncontended atomic adds next to the
+// sync.Map lookup the pool already pays, and the hot loops borrow
+// scratch once per round, not per element.
+var scratchGets, scratchPuts atomic.Int64
+
+// ScratchBalance is a snapshot of the pool's borrow/return traffic.
+type ScratchBalance struct {
+	Gets, Puts int64
+}
+
+// Balanced reports whether every borrowed buffer has been returned.
+func (b ScratchBalance) Balanced() bool { return b.Gets == b.Puts }
+
+// ScratchStats returns the cumulative GetScratch/Release counts. Only
+// meaningful at quiescent points: a primitive mid-call legitimately
+// holds unreleased scratch.
+func ScratchStats() ScratchBalance {
+	// Read puts first: a concurrent borrow-then-release between the two
+	// loads can then only show Gets >= Puts, never a phantom imbalance
+	// in the direction the tests assert on.
+	puts := scratchPuts.Load()
+	gets := scratchGets.Load()
+	return ScratchBalance{Gets: gets, Puts: puts}
+}
+
 // GetScratch borrows a scratch buffer of length n (contents arbitrary)
 // from the pool for T. Release it when done; a buffer that is never
-// released is simply garbage-collected.
+// released is simply garbage-collected (but still counts against
+// ScratchStats balance, which is the point — Release on all paths).
 func GetScratch[T any](n int) *Scratch[T] {
 	s := poolOf[T]().Get().(*Scratch[T])
 	if cap(s.S) < n {
 		s.S = make([]T, n)
 	}
 	s.S = s.S[:n]
+	scratchGets.Add(1)
 	return s
 }
 
@@ -60,5 +93,6 @@ func (s *Scratch[T]) Release() {
 	if s == nil {
 		return
 	}
+	scratchPuts.Add(1)
 	poolOf[T]().Put(s)
 }

@@ -18,6 +18,7 @@ func SortByKey[T any](items []T, key func(T) uint64) []T {
 	if n < 2 {
 		return items
 	}
+	defer rewrapPanic()
 	const (
 		digitBits = 8
 		radix     = 1 << digitBits
@@ -50,13 +51,17 @@ func SortByKey[T any](items []T, key func(T) uint64) []T {
 			counts[i] = 0
 		}
 		// Pass 1: per-block digit histograms, digit-major layout so a
-		// single scan yields stable scatter offsets.
+		// single scan yields stable scatter offsets. Both waves contain
+		// panics from the caller-supplied key function: every worker
+		// joins before the wrapped panic re-raises on the caller.
+		var pc panicCatcher
 		var wg sync.WaitGroup
 		for b := 0; b < nb; b++ {
 			lo, hi := b*blockSize, min((b+1)*blockSize, n)
 			wg.Add(1)
 			go func(b, lo, hi int) {
 				defer wg.Done()
+				defer pc.recoverPanic()
 				for i := lo; i < hi; i++ {
 					d := (key(src[i]) >> shift) & mask
 					counts[int(d)*nb+b]++
@@ -64,6 +69,7 @@ func SortByKey[T any](items []T, key func(T) uint64) []T {
 			}(b, lo, hi)
 		}
 		wg.Wait()
+		pc.rethrow()
 		Scan(counts, counts)
 		// Pass 2: stable scatter.
 		for b := 0; b < nb; b++ {
@@ -71,6 +77,7 @@ func SortByKey[T any](items []T, key func(T) uint64) []T {
 			wg.Add(1)
 			go func(b, lo, hi int) {
 				defer wg.Done()
+				defer pc.recoverPanic()
 				for i := lo; i < hi; i++ {
 					d := (key(src[i]) >> shift) & mask
 					slot := int(d)*nb + b
@@ -80,6 +87,7 @@ func SortByKey[T any](items []T, key func(T) uint64) []T {
 			}(b, lo, hi)
 		}
 		wg.Wait()
+		pc.rethrow()
 		src, dst = dst, src
 	}
 	if &src[0] != &items[0] {

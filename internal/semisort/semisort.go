@@ -90,6 +90,7 @@ func PairsInto[V any](out, in []Pair[V]) {
 	// offset of that block's contribution — the standard stable radix
 	// scatter.
 	cb := parallel.GetScratch[uint32](nbkt * nb)
+	defer cb.Release()
 	counts := cb.S
 	parallel.For(len(counts), parallel.DefaultGrain, func(i int) { counts[i] = 0 })
 	parallel.For(nb, 1, func(b int) {
@@ -101,6 +102,7 @@ func PairsInto[V any](out, in []Pair[V]) {
 	parallel.Scan(counts, counts)
 
 	ob := parallel.GetScratch[uint32](len(counts))
+	defer ob.Release()
 	offsets := ob.S
 	parallel.Blocked(len(counts), parallel.DefaultGrain, func(lo, hi int) {
 		copy(offsets[lo:hi], counts[lo:hi])
@@ -134,8 +136,6 @@ func PairsInto[V any](out, in []Pair[V]) {
 			return 0
 		})
 	})
-	ob.Release()
-	cb.Release()
 }
 
 // GroupStarts returns the start index of every maximal run of equal keys
