@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race debug chaos fuzz bench bench-smoke bench-go check
+.PHONY: all build test vet fmt lint race debug chaos fuzz bench bench-smoke bench-go obs-demo check
 
 all: check
 
@@ -82,6 +82,13 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/bench -smoke -out bench-out
+
+# obs-demo smoke-tests the observability plane end to end: run kcore
+# with -http on an ephemeral port, scrape /metrics until the
+# round-latency histogram is populated, and check /debug/obs. Needs
+# curl. DESIGN.md §10 documents the exposed surface.
+obs-demo:
+	sh scripts/obs-demo.sh
 
 # bench-go runs the raw go-test benchmarks once each (quick signal
 # while iterating; use `make bench` for the reproducible reports).

@@ -1,6 +1,6 @@
 // Command bench regenerates the repository's performance baseline:
 //
-//	bench [-smoke] [-out dir] [-reps n] [-seed s]
+//	bench [-smoke] [-out dir] [-reps n] [-seed s] [-http :9090]
 //
 // It measures the bucket structure's hot paths and the four bucketed
 // applications (k-core, ∆-stepping, wBFS, approximate set cover) at
@@ -10,18 +10,29 @@
 // the files carry a before/after allocator comparison; -smoke (`make
 // bench-smoke`) shrinks inputs to CI size and skips the comparison.
 //
+// With -http the suite's merged telemetry (counters plus round-latency
+// histograms from every instrumented run) is served live on the obs
+// debug surface (/metrics, /debug/obs, /debug/pprof/), and the process
+// keeps serving after the reports are written until interrupted.
+//
 // DESIGN.md §7 documents the report schema and the measurement
 // methodology; cmd/experiments produces the paper-style tables and
 // figures instead.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"julienne/internal/bench"
+	"julienne/internal/obs"
 )
 
 func main() {
@@ -29,9 +40,27 @@ func main() {
 	out := flag.String("out", ".", "output directory for BENCH_*.json")
 	reps := flag.Int("reps", 0, "timing repetitions per configuration (default 5, 3 with -smoke)")
 	seed := flag.Uint64("seed", 0, "workload seed (default 2017)")
+	httpAddr := flag.String("http", "", "serve live /metrics, /debug/obs, /debug/pprof on this address while benchmarking; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	cfg := bench.Config{Smoke: *smoke, Reps: *reps, Seed: *seed}
+	serving := ""
+	if *httpAddr != "" {
+		cfg.Live = obs.NewRecorder()
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -http listen on %s: %v\n", *httpAddr, err)
+			os.Exit(2)
+		}
+		serving = ln.Addr().String()
+		srv := &http.Server{Handler: obs.ServeMux(cfg.Live)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "bench: http server on %s: %v\n", serving, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "bench: serving http://%s/metrics\n", serving)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
@@ -53,4 +82,11 @@ func main() {
 	}
 	write("BENCH_bucket.json", bench.Bucket(cfg))
 	write("BENCH_algos.json", bench.Algos(cfg))
+
+	if serving != "" {
+		fmt.Fprintf(os.Stderr, "bench: run complete; still serving http://%s (interrupt to exit)\n", serving)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }

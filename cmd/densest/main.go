@@ -5,6 +5,7 @@
 // Usage:
 //
 //	densest [-impl charikar|batch] [-epsilon 0.1] [graph flags]
+//	        [-trace out.json] [-stats] [-pprof :6060] [-http :9090]
 package main
 
 import (
@@ -23,7 +24,9 @@ func main() {
 	eps := flag.Float64("epsilon", 0.1, "batch peel epsilon")
 	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (0 = no limit)")
 	gf := cli.Register(flag.CommandLine)
+	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
+	defer of.CrashDump()
 
 	g, err := gf.Build()
 	if err != nil {
@@ -36,7 +39,7 @@ func main() {
 	fmt.Println(cli.Describe(g))
 
 	var res densest.Result
-	dopt := densest.Options{Deadline: harness.DeadlineIn(*timeout)}
+	dopt := densest.Options{Recorder: of.Recorder(), Deadline: harness.DeadlineIn(*timeout)}
 	elapsed := harness.Time(func() {
 		switch *impl {
 		case "charikar":
@@ -49,8 +52,10 @@ func main() {
 		}
 	})
 
+	of.ObserveOp(elapsed)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
+		of.PrintCanceled(os.Stderr, res.Err)
 		fmt.Printf("impl=%s PARTIAL rounds=%d density=%.3f\n", *impl, res.Rounds, res.Density)
 		os.Exit(3)
 	}
@@ -64,4 +69,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "WARNING: density mismatch (%.6f recounted)\n", recount)
 		os.Exit(1)
 	}
+
+	if err := of.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	of.Wait()
 }

@@ -32,6 +32,7 @@ func main() {
 	gf := cli.Register(flag.CommandLine)
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
+	defer of.CrashDump()
 
 	g, err := gf.Build()
 	if err != nil {
@@ -64,8 +65,10 @@ func main() {
 		}
 	})
 
+	of.ObserveOp(elapsed)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
+		of.PrintCanceled(os.Stderr, runErr)
 		fmt.Printf("impl=%s time=%v PARTIAL rounds=%d\n", *impl, elapsed, rounds)
 		os.Exit(3)
 	}
@@ -103,4 +106,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	of.Wait()
 }

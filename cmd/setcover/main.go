@@ -33,6 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (julienne impl; 0 = no limit)")
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
+	defer of.CrashDump()
 
 	var g *graph.CSR
 	numSets := *sets
@@ -50,7 +51,8 @@ func main() {
 	fmt.Printf("instance: sets=%d elements=%d M=%d\n",
 		numSets, g.NumVertices()-numSets, g.NumEdges())
 
-	opt := setcover.Options{Epsilon: *eps, Recorder: of.Recorder(),
+	rec := of.Recorder()
+	opt := setcover.Options{Epsilon: *eps, Recorder: rec,
 		Deadline: harness.DeadlineIn(*timeout)}
 	var res setcover.Result
 	elapsed := harness.Time(func() {
@@ -67,8 +69,10 @@ func main() {
 		}
 	})
 
+	of.ObserveOp(elapsed)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
+		of.PrintCanceled(os.Stderr, res.Err)
 		fmt.Printf("impl=%s PARTIAL cover_size=%d rounds=%d sets_inspected=%d\n",
 			*impl, res.CoverSize, res.Rounds, res.SetsInspected)
 		os.Exit(3)
@@ -85,4 +89,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	of.Wait()
 }

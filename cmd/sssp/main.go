@@ -31,6 +31,7 @@ func main() {
 	gf := cli.Register(flag.CommandLine)
 	of := cli.RegisterObs(flag.CommandLine)
 	flag.Parse()
+	defer of.CrashDump()
 
 	g, err := gf.Build()
 	if err != nil {
@@ -68,8 +69,10 @@ func main() {
 		}
 	})
 
+	of.ObserveOp(elapsed)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
+		of.PrintCanceled(os.Stderr, res.Err)
 		fmt.Printf("algo=%s src=%d PARTIAL rounds=%d relaxations=%d edges=%d\n",
 			*algo, s, res.Rounds, res.Relaxations, res.EdgesTraversed)
 		os.Exit(3)
@@ -95,4 +98,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	of.Wait()
 }

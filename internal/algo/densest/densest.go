@@ -31,6 +31,11 @@ import (
 
 // Options configures the peeling algorithms.
 type Options struct {
+	// Recorder, when non-nil, receives one span and one RoundMetrics
+	// per peeling round plus the bucket structure's counters
+	// (Charikar only; PeelBatch has no bucket structure). Nil disables
+	// telemetry with only nil-check overhead.
+	Recorder *obs.Recorder
 	// Ctx, when non-nil, is checked once per peeling round; if it is
 	// done the run stops and Result.Err reports a *obs.Canceled with
 	// partial progress. Nil keeps today's zero-overhead behavior.
@@ -109,7 +114,9 @@ func CharikarWithOptions(g graph.Graph, opt Options) Result {
 	parallel.For(n, parallel.DefaultGrain, func(v int) {
 		d[v] = uint32(g.OutDegree(graph.Vertex(v)))
 	})
-	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing, bucket.Options{})
+	rec := opt.Recorder
+	b := bucket.New(n, func(i uint32) bucket.ID { return d[i] }, bucket.Increasing,
+		bucket.Options{Recorder: rec})
 
 	alive := int64(n)
 	liveEdges := g.NumEdges() / 2 // undirected edges
@@ -119,10 +126,11 @@ func CharikarWithOptions(g graph.Graph, opt Options) Result {
 	removedAt := make([]int64, n) // round at which each vertex fell (1-based)
 	var scratch ligra.CountScratch
 	var runErr error
+	var prevStats bucket.Stats
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for alive > 0 {
 		if cause := cancel.Stopped(); cause != nil {
-			runErr = &obs.Canceled{Algo: "densest", Rounds: rounds, Cause: cause}
+			runErr = rec.NewCanceled("densest", rounds, cause)
 			break
 		}
 		// ids aliases the bucket structure's arena: valid only until
@@ -131,6 +139,7 @@ func CharikarWithOptions(g graph.Graph, opt Options) Result {
 		if k == bucket.Nil {
 			break
 		}
+		sp := rec.StartSpan("densest.round").Arg("bucket", k).Arg("frontier", len(ids))
 		rounds++
 		frontier := ligra.FromSparse(n, ids)
 		parallel.For(len(ids), parallel.DefaultGrain, func(i int) {
@@ -174,7 +183,8 @@ func CharikarWithOptions(g graph.Graph, opt Options) Result {
 		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
 			return rebucket.IDs[j], rebucket.Vals[j]
 		})
-		alive -= int64(len(ids))
+		nPeeled := len(ids)
+		alive -= int64(nPeeled)
 		liveEdges -= removedEdges
 		if alive > 0 {
 			density := float64(liveEdges) / float64(alive)
@@ -182,6 +192,19 @@ func CharikarWithOptions(g graph.Graph, opt Options) Result {
 				bestDensity = density
 				bestAlive = alive
 			}
+		}
+		dur := sp.End()
+		if rec != nil {
+			cur := b.Stats()
+			delta := cur.Sub(prevStats)
+			prevStats = cur
+			rec.RecordRound(obs.RoundMetrics{
+				Algo: "densest", Round: rounds, Bucket: k,
+				FrontierSize: nPeeled, EdgesTraversed: removedEdges,
+				Dense:     false, // EdgeMapCount is push-only
+				Extracted: delta.Extracted, Moved: delta.Moved,
+				Skipped: delta.Skipped, Duration: dur,
+			})
 		}
 	}
 	// Reconstruct the best prefix: the survivors just before density
@@ -258,12 +281,14 @@ func PeelBatchWithOptions(g graph.Graph, eps float64, opt Options) Result {
 	var rounds int64
 	var scratch ligra.CountScratch
 	var runErr error
+	rec := opt.Recorder
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for alive > 0 {
 		if cause := cancel.Stopped(); cause != nil {
-			runErr = &obs.Canceled{Algo: "densest", Rounds: rounds, Cause: cause}
+			runErr = rec.NewCanceled("densest", rounds, cause)
 			break
 		}
+		sp := rec.StartSpan("densest.batch_round")
 		rounds++
 		round++
 		rho := float64(liveEdges) / float64(alive)
@@ -272,8 +297,10 @@ func PeelBatchWithOptions(g graph.Graph, eps float64, opt Options) Result {
 			return dead[v] == 0 && float64(d[v]) <= threshold
 		})
 		if len(ids) == 0 {
+			sp.End()
 			break // cannot happen mathematically, but guard float edges
 		}
+		sp.Arg("frontier", len(ids))
 		parallel.For(len(ids), parallel.DefaultGrain, func(i int) {
 			dead[ids[i]] = round
 		})
@@ -305,6 +332,14 @@ func PeelBatchWithOptions(g graph.Graph, eps float64, opt Options) Result {
 				bestDensity = density
 				bestAlive = alive
 			}
+		}
+		dur := sp.End()
+		if rec != nil {
+			rec.RecordRound(obs.RoundMetrics{
+				Algo: "densest", Round: rounds, Bucket: ^uint32(0),
+				FrontierSize: len(ids), EdgesTraversed: removedEdges,
+				Dense: false, Duration: dur,
+			})
 		}
 	}
 	// Reconstruct the best survivor set by round cut, as in Charikar.

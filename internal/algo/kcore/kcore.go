@@ -111,7 +111,7 @@ func Coreness(g graph.Graph, opt Options) Result {
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for finished < n {
 		if cause := cancel.Stopped(); cause != nil {
-			res.Err = &obs.Canceled{Algo: "kcore", Rounds: res.Rounds, Cause: cause}
+			res.Err = rec.NewCanceled("kcore", res.Rounds, cause)
 			break
 		}
 		// ids aliases the bucket structure's arena: valid only until

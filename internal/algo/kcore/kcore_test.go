@@ -1,11 +1,15 @@
 package kcore
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"julienne/internal/bucket"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
+	"julienne/internal/obs"
 )
 
 func checkEqual(t *testing.T, name string, got, want []uint32) {
@@ -171,5 +175,45 @@ func TestDeterministic(t *testing.T) {
 	checkEqual(t, "determinism", a.Coreness, bres.Coreness)
 	if a.Rounds != bres.Rounds {
 		t.Fatal("rounds differ across runs")
+	}
+}
+
+// TestCanceledCarriesFlightTail pins that a canceled run's error
+// embeds the flight-recorder tail: the last rounds completed before
+// the cancellation, decoded and attributed to this algorithm.
+func TestCanceledCarriesFlightTail(t *testing.T) {
+	g := gen.RMAT(1<<11, 1<<14, true, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := obs.NewRecorder()
+	const stopAfter = 3
+	rec.OnRound(func(m obs.RoundMetrics) {
+		if m.Round == stopAfter {
+			cancel()
+		}
+	})
+	res := Coreness(g, Options{Recorder: rec, Ctx: ctx})
+	var c *obs.Canceled
+	if !errors.As(res.Err, &c) {
+		t.Fatalf("want *obs.Canceled, got %v", res.Err)
+	}
+	if c.Rounds != stopAfter {
+		t.Fatalf("canceled after %d rounds, want %d", c.Rounds, stopAfter)
+	}
+	if len(c.Tail) != stopAfter {
+		t.Fatalf("tail has %d records, want %d", len(c.Tail), stopAfter)
+	}
+	for i, fr := range c.Tail {
+		if fr.Algo != "kcore" {
+			t.Fatalf("tail[%d].Algo = %q, want kcore", i, fr.Algo)
+		}
+		if fr.Round != int64(i+1) {
+			t.Fatalf("tail[%d].Round = %d, want %d", i, fr.Round, i+1)
+		}
+	}
+	var buf bytes.Buffer
+	c.WriteTail(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("kcore")) {
+		t.Fatalf("WriteTail output missing algo name:\n%s", buf.String())
 	}
 }

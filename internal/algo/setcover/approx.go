@@ -58,7 +58,7 @@ func ApproxOn(work graph.Packer, numSets int, opt Options) Result {
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
 		if cause := cancel.Stopped(); cause != nil {
-			res.Err = &obs.Canceled{Algo: "setcover", Rounds: res.Rounds, Cause: cause}
+			res.Err = rec.NewCanceled("setcover", res.Rounds, cause)
 			break
 		}
 		// sets aliases the bucket structure's arena: valid only until

@@ -70,7 +70,7 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
 		if cause := cancel.Stopped(); cause != nil {
-			res.Err = &obs.Canceled{Algo: "sssp", Rounds: res.Rounds, Cause: cause}
+			res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
 			break
 		}
 		// ids aliases the bucket structure's arena: valid only until

@@ -57,7 +57,12 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		return bucket.ID(b)
 	}
 	d := func(i uint32) bucket.ID { return bktOf(sp[i] &^ flag) }
-	b := bucket.New(n, d, bucket.Increasing, opt.Buckets)
+	rec := opt.Recorder
+	bopt := opt.Buckets
+	if bopt.Recorder == nil {
+		bopt.Recorder = rec
+	}
+	b := bucket.New(n, d, bucket.Increasing, bopt)
 
 	res := Result{}
 	always := func(graph.Vertex) bool { return true }
@@ -74,10 +79,12 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		active   bool
 	}
 
+	var prevStats bucket.Stats
+	var prevRelax int64
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
 	for {
 		if cause := cancel.Stopped(); cause != nil {
-			res.Err = &obs.Canceled{Algo: "sssp", Rounds: res.Rounds, Cause: cause}
+			res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
 			break
 		}
 		id, ids := b.NextBucket()
@@ -99,11 +106,13 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 
 		active := ids
 		for len(active) > 0 {
+			sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(active))
 			res.Rounds++
 			round++
-			res.EdgesTraversed += parallel.Sum(len(active), 0, func(i int) int64 {
+			roundEdges := parallel.Sum(len(active), 0, func(i int) int64 {
 				return int64(light.OutDegree(active[i]))
 			})
+			res.EdgesTraversed += roundEdges
 			moved := ligra.EdgeMapTagged(light, ligra.FromSparse(n, active), always,
 				func(s, dst graph.Vertex, w graph.Weight) (capture, bool) {
 					nDist := load(sp, s) + uint64(w)
@@ -152,6 +161,23 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 						settled = append(settled, v)
 					}
 				}
+			}
+			dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
+			if rec != nil {
+				// Bucket traffic moves at annulus granularity (extraction
+				// at NextBucket, rebucketing at UpdateBuckets), so the
+				// annulus' extraction delta lands on its first light
+				// round and its rebucket delta on the next annulus'.
+				cur := b.Stats()
+				sd := cur.Sub(prevStats)
+				prevStats = cur
+				prevRelax = res.Relaxations
+				rec.RecordRound(obs.RoundMetrics{
+					Algo: "sssp", Round: res.Rounds, Bucket: id,
+					FrontierSize: len(active), EdgesTraversed: roundEdges,
+					Extracted: sd.Extracted, Moved: sd.Moved,
+					Skipped: sd.Skipped, Duration: dur,
+				})
 			}
 			active = nextActive
 		}

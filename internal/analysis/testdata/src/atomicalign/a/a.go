@@ -31,3 +31,74 @@ type padded struct {
 func (p *padded) load() int64 {
 	return atomic.LoadInt64(&p.n)
 }
+
+// The shapes below mirror the internal/obs observability structs: a
+// log-bucketed histogram (scalar atomics followed by an atomic cell
+// array) and a flight-recorder ring (a cursor plus an array of
+// all-atomic slots), in both a correctly laid out form and a form
+// whose leading narrow field breaks 32-bit alignment.
+
+type histogram struct {
+	count  int64 // 64-bit fields first: offsets 0, 8, 16
+	sum    int64
+	max    int64
+	counts [16]int64
+}
+
+func (h *histogram) record(v int64, i int) {
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.CompareAndSwapInt64(&h.max, 0, v)
+}
+
+type badHistogram struct {
+	enabled uint32 // 4 bytes: every cell below lands 4-misaligned on 32-bit
+	count   int64
+	counts  [16]int64
+}
+
+func (h *badHistogram) record(i int) {
+	atomic.AddInt64(&h.count, 1) // want "64-bit atomic access to field count at 32-bit offset 4"
+}
+
+type ringSlot struct {
+	seq int64 // all-int64 slots: every field 8-aligned at any index
+	ts  int64
+	val int64
+}
+
+type ring struct {
+	cursor int64
+	slots  [8]ringSlot
+}
+
+func (r *ring) publish(v int64) {
+	ticket := atomic.AddInt64(&r.cursor, 1)
+	s := &r.slots[(ticket-1)&7]
+	atomic.StoreInt64(&s.seq, -ticket)
+	atomic.StoreInt64(&s.val, v)
+	atomic.StoreInt64(&s.seq, ticket)
+}
+
+type badRing struct {
+	open   uint32 // narrow leading field misaligns the whole ring on 32-bit
+	cursor int64
+}
+
+func (r *badRing) next() int64 {
+	return atomic.AddInt64(&r.cursor, 1) // want "64-bit atomic access to field cursor at 32-bit offset 4"
+}
+
+// holder reaches a ring through a pointer: the pointed-to struct gets
+// a fresh 8-aligned allocation, so the hop resets the offset analysis
+// (the internal/obs Recorder relies on exactly this for its flight
+// ring).
+type holder struct {
+	pad    uint32
+	flight *ring
+}
+
+func (h *holder) bump() int64 {
+	return atomic.AddInt64(&h.flight.cursor, 1)
+}

@@ -33,6 +33,12 @@ type Config struct {
 	Reps int
 	// Seed makes workloads reproducible (0 = default).
 	Seed uint64
+	// Live, when non-nil, receives every instrumented run's counters
+	// and histograms via Recorder.Merge, so `cmd/bench -http` exposes
+	// the whole suite's telemetry on one /metrics endpoint while the
+	// per-entry snapshots in the report stay isolated. Nil skips the
+	// merge.
+	Live *obs.Recorder
 }
 
 func (c Config) reps() int {
@@ -70,6 +76,15 @@ type Entry struct {
 	BytesPerOp    int64 `json:"bytes_per_op"`
 	BytesPerRound int64 `json:"bytes_per_round,omitempty"`
 	AllocsPerOp   int64 `json:"allocs_per_op"`
+	// RoundP50Ns..RoundMaxNs summarize the per-round latency
+	// distribution of one instrumented run, from the internal/obs
+	// log-bucketed histogram (round.latency_ns where the workload
+	// records rounds, else the bucket operation-duration histograms).
+	// Quantiles carry the histogram's ~12.5% bucket resolution.
+	RoundP50Ns int64 `json:"round_p50_ns,omitempty"`
+	RoundP90Ns int64 `json:"round_p90_ns,omitempty"`
+	RoundP99Ns int64 `json:"round_p99_ns,omitempty"`
+	RoundMaxNs int64 `json:"round_max_ns,omitempty"`
 	// Counters is one instrumented run's internal/obs counter snapshot
 	// (bucket.* traffic, edgemap.* direction decisions).
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -150,7 +165,8 @@ func withProcs(p int, f func()) {
 }
 
 // measure times and alloc-profiles run (recorder off), then executes
-// one instrumented run to capture rounds and obs counters.
+// one instrumented run to capture rounds, obs counters, and the
+// round-latency percentiles.
 func measure(e Entry, cfg Config, run func(rec *obs.Recorder) int64) Entry {
 	sample := harness.TimeMedian(cfg.reps(), func() { run(nil) })
 	alloc := harness.MeasureAlloc(cfg.reps(), func() { run(nil) })
@@ -165,7 +181,25 @@ func measure(e Entry, cfg Config, run func(rec *obs.Recorder) int64) Entry {
 		e.BytesPerRound = e.BytesPerOp / rounds
 	}
 	e.Counters = rec.Counters()
+	fillRoundPercentiles(&e, rec)
+	cfg.Live.Merge(rec)
 	return e
+}
+
+// fillRoundPercentiles copies the round-latency summary of one
+// instrumented run into the entry. Workloads that emit RoundMetrics
+// populate round.latency_ns; pure bucket-structure workloads fall back
+// to the NextBucket/UpdateBuckets duration histograms.
+func fillRoundPercentiles(e *Entry, rec *obs.Recorder) {
+	for _, name := range []string{obs.HistRoundLatencyNs, obs.HistNextBucketNs, obs.HistUpdateBucketsNs} {
+		if s := rec.HistSummary(name); s.Count > 0 {
+			e.RoundP50Ns = s.P50
+			e.RoundP90Ns = s.P90
+			e.RoundP99Ns = s.P99
+			e.RoundMaxNs = s.Max
+			return
+		}
+	}
 }
 
 // deltas pairs the baseline entries with fresh re-measurements.

@@ -86,6 +86,8 @@ func updateEntry(name string, opt bucket.Options, n, k, p int, cfg Config) Entry
 	e.BytesPerRound = e.BytesPerOp
 	e.AllocsPerOp = alloc.AllocsPerOp
 	e.Counters = rec.Counters()
+	fillRoundPercentiles(&e, rec)
+	cfg.Live.Merge(rec)
 	return e
 }
 

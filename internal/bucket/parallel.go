@@ -380,6 +380,10 @@ func (b *Par) NextBucket() (ID, []uint32) {
 	if b.done {
 		return Nil, nil
 	}
+	// Clock is zero (and ObserveSince a no-op) on a nil recorder, so
+	// the disabled path pays one nil check and an open-coded defer.
+	start := b.rec.Clock()
+	defer b.rec.ObserveSince(obs.HistNextBucketNs, start)
 	if chaos.Enabled {
 		chaos.Point(chaos.SiteRound)
 	}
@@ -507,6 +511,8 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 	if k <= 0 || b.done {
 		return
 	}
+	start := b.rec.Clock()
+	defer b.rec.ObserveSince(obs.HistUpdateBucketsNs, start)
 	// The block histograms and scatter offsets are uint32; a batch of
 	// 2^32 or more updates would silently wrap the offsets and scatter
 	// identifiers into the wrong buckets. Fail loudly instead, mirroring

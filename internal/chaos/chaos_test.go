@@ -18,6 +18,7 @@ package chaos_test
 // tests) cost nothing in production binaries.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -42,6 +43,23 @@ func testGraph(seed uint64) *graph.CSR {
 		n = 600
 	}
 	return gen.RMAT(n, 8*n, true, seed)
+}
+
+// flightDumpRecorder arms the always-on flight recorder for one chaos
+// run and dumps its tail if the test fails, so a failed invariant
+// check ships a post-mortem of the rounds that led up to it.
+func flightDumpRecorder(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.NewRecorder()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var buf bytes.Buffer
+		obs.WriteFlightText(&buf, rec.FlightTail(16))
+		t.Logf("chaos post-mortem:\n%s", buf.String())
+	})
+	return rec
 }
 
 func checkInvariants(t *testing.T) {
@@ -86,9 +104,10 @@ func TestInjectedWorkerPanic(t *testing.T) {
 	defer harness.LeakCheck(t)()
 	g := testGraph(1)
 	want := kcore.CorenessBZ(g)
+	rec := flightDumpRecorder(t)
 	for _, hit := range []int64{1, 7, 40} {
 		chaos.Arm(chaos.Plan{PanicAtWorker: hit})
-		pe := expectPanicError(t, func() { kcore.Coreness(g, kcore.Options{}) })
+		pe := expectPanicError(t, func() { kcore.Coreness(g, kcore.Options{Recorder: rec}) })
 		chaos.Disarm()
 		if pe == nil {
 			t.Fatalf("hit %d: injected panic did not surface", hit)
@@ -129,8 +148,9 @@ func TestForcedCancellationAtRound(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	rec := flightDumpRecorder(t)
 	chaos.Arm(chaos.Plan{CancelAtRound: 2, Cancel: cancel})
-	res := kcore.Coreness(g, kcore.Options{Ctx: ctx})
+	res := kcore.Coreness(g, kcore.Options{Ctx: ctx, Recorder: rec})
 	chaos.Disarm()
 	if res.Err == nil {
 		t.Fatal("canceled run returned nil Err")
@@ -151,6 +171,11 @@ func TestForcedCancellationAtRound(t *testing.T) {
 	if !errors.Is(res.Err, context.Canceled) {
 		t.Errorf("cause not surfaced: errors.Is(Err, context.Canceled) = false")
 	}
+	if len(c.Tail) == 0 || int64(len(c.Tail)) > c.Rounds {
+		t.Errorf("Canceled.Tail has %d records for %d rounds; want a non-empty tail", len(c.Tail), c.Rounds)
+	} else if last := c.Tail[len(c.Tail)-1]; last.Algo != "kcore" || last.Round != c.Rounds {
+		t.Errorf("Canceled.Tail ends at %s round %d, want kcore round %d", last.Algo, last.Round, c.Rounds)
+	}
 	checkInvariants(t)
 	clean := kcore.Coreness(g, kcore.Options{})
 	if clean.Err != nil {
@@ -166,8 +191,9 @@ func TestDelayAtRoundTripsDeadline(t *testing.T) {
 	defer harness.LeakCheck(t)()
 	g := gen.UniformWeights(testGraph(3), 1, 16, 3)
 	want := sssp.DijkstraHeap(g, 0)
+	rec := flightDumpRecorder(t)
 	chaos.Arm(chaos.Plan{DelayAtRound: 2, Delay: 50 * time.Millisecond})
-	res := sssp.WBFS(g, 0, sssp.Options{Deadline: harness.DeadlineIn(5 * time.Millisecond)})
+	res := sssp.WBFS(g, 0, sssp.Options{Recorder: rec, Deadline: harness.DeadlineIn(5 * time.Millisecond)})
 	chaos.Disarm()
 	if res.Err == nil {
 		t.Fatal("deadline run returned nil Err")
@@ -209,6 +235,7 @@ func TestSeededSweep(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
 		t.Run(strconv.Itoa(seed), func(t *testing.T) {
+			rec := flightDumpRecorder(t)
 			h := rng.Hash64(uint64(seed) + 0xc4a05)
 			mode := h % 3
 			hit := int64(1 + (h>>8)%24)
@@ -216,7 +243,7 @@ func TestSeededSweep(t *testing.T) {
 			switch mode {
 			case 0: // worker panic
 				chaos.Arm(chaos.Plan{PanicAtWorker: hit})
-				pe := expectPanicError(t, func() { kcore.Coreness(g, kcore.Options{}) })
+				pe := expectPanicError(t, func() { kcore.Coreness(g, kcore.Options{Recorder: rec}) })
 				chaos.Disarm()
 				if pe == nil {
 					t.Fatalf("seed %d: panic at worker hit %d did not surface", seed, hit)
@@ -225,7 +252,7 @@ func TestSeededSweep(t *testing.T) {
 				ctx, cancel := context.WithCancel(context.Background())
 				defer cancel()
 				chaos.Arm(chaos.Plan{CancelAtRound: round, Cancel: cancel})
-				res := kcore.Coreness(g, kcore.Options{Ctx: ctx})
+				res := kcore.Coreness(g, kcore.Options{Ctx: ctx, Recorder: rec})
 				chaos.Disarm()
 				if res.Err == nil || !errors.Is(res.Err, obs.ErrCanceled) {
 					t.Fatalf("seed %d: cancel at round %d: Err = %v", seed, round, res.Err)
@@ -233,6 +260,7 @@ func TestSeededSweep(t *testing.T) {
 			case 2: // delay at a round boundary + deadline
 				chaos.Arm(chaos.Plan{DelayAtRound: round, Delay: 20 * time.Millisecond})
 				res := kcore.Coreness(g, kcore.Options{
+					Recorder: rec,
 					Deadline: harness.DeadlineIn(2 * time.Millisecond),
 				})
 				chaos.Disarm()

@@ -76,6 +76,7 @@ func recordDirection(rec *obs.Recorder, dense bool, degSum int64) {
 		rec.SetGauge(obs.GaugeEdgeMapLastDense, 0)
 	}
 	rec.Add(obs.CtrEdgeMapEdges, degSum)
+	rec.Observe(obs.HistEdgeMapEdges, degSum)
 }
 
 // edgeMapSparse is the push traversal: map over the out-edges of U.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 )
 
@@ -33,6 +34,11 @@ type Canceled struct {
 	// Cause is the reason the run stopped: the context's cause or
 	// context.DeadlineExceeded for an expired deadline.
 	Cause error
+	// Tail holds the flight-recorder tail at cancellation time — the
+	// last rounds the run completed before it was stopped, for
+	// post-mortem inspection of where the budget went. Nil when the
+	// run had no recorder attached.
+	Tail []FlightRecord
 }
 
 func (c *Canceled) Error() string {
@@ -41,6 +47,21 @@ func (c *Canceled) Error() string {
 
 // Unwrap exposes both the sentinel and the cause to errors.Is/As.
 func (c *Canceled) Unwrap() []error { return []error{ErrCanceled, c.Cause} }
+
+// WriteTail renders the captured flight-recorder tail as text (the
+// same table panic dumps use); a no-op line when the tail is empty.
+func (c *Canceled) WriteTail(w io.Writer) { WriteFlightText(w, c.Tail) }
+
+// NewCanceled builds the cancellation error for one run, capturing the
+// recorder's flight tail so the error itself carries the last rounds
+// of partial progress. Valid on a nil recorder (Tail stays nil).
+func (r *Recorder) NewCanceled(algo string, rounds int64, cause error) *Canceled {
+	c := &Canceled{Algo: algo, Rounds: rounds, Cause: cause}
+	if r != nil {
+		c.Tail = r.FlightTail(flightTailDefault)
+	}
+	return c
+}
 
 // CancelCheck is the per-round cancellation probe. The zero value never
 // cancels and its Stopped method is a nil-compare fast path, so

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the lock-free log-bucketed histogram the
+// observability plane is built on (DESIGN.md §10). Design constraints:
+//
+//   - Record must be wait-free and allocation-free: a handful of
+//     atomic adds, callable from every worker of a parallel round.
+//   - Snapshots must merge, so per-run recorders can fold into a
+//     process-wide one (cmd/bench -http) and sharded recorders can be
+//     combined before exposition.
+//   - Resolution must be good enough for latency quantiles: buckets
+//     grow geometrically with histSub sub-buckets per power-of-two
+//     octave, giving a worst-case relative error of 1/histSub = 12.5%,
+//     while values below histSub*2 are recorded exactly.
+//
+// The bucket layout follows the HDR-histogram/DDSketch family: for a
+// value v >= 2*histSub with highest set bit e (v in [2^e, 2^(e+1))),
+// the octave [2^e, 2^(e+1)) is split into histSub equal sub-buckets of
+// width 2^(e-histSubBits). Values in [0, 2*histSub) map one-to-one to
+// the first 2*histSub buckets (width-1 "sub-buckets" of the first two
+// virtual octaves), so the index formula below is continuous across
+// the exact/geometric boundary.
+
+const (
+	// histSubBits is log2 of the sub-bucket count per octave.
+	histSubBits = 3
+	// histSub = 8 sub-buckets per octave (~12.5% relative resolution).
+	histSub = 1 << histSubBits
+	// numHistBuckets covers the full non-negative int64 range:
+	// index(math.MaxInt64) = (63-histSubBits)*histSub + histSub - 1.
+	numHistBuckets = (64 - histSubBits) * histSub
+)
+
+// histIndex maps a non-negative value to its bucket index.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < 2*histSub {
+		return int(u)
+	}
+	e := uint(bits.Len64(u) - 1)              // highest set bit; >= histSubBits+1
+	mant := int(u>>(e-histSubBits)) - histSub // [0, histSub)
+	return int(e-histSubBits)*histSub + mant + histSub
+}
+
+// histUpper returns the exclusive upper bound of bucket i, saturating
+// at MaxInt64 for the last octave. Bucket i covers [histLower(i),
+// histUpper(i)).
+func histUpper(i int) int64 {
+	if i < 2*histSub {
+		return int64(i) + 1
+	}
+	block := i/histSub - 1 // 1-based octave above the exact region
+	mant := uint64(i % histSub)
+	e := uint(block + histSubBits)
+	shift := e - histSubBits
+	lo := (histSub + mant) << shift
+	up := lo + 1<<shift
+	if up > math.MaxInt64 || up == 0 {
+		return math.MaxInt64
+	}
+	return int64(up)
+}
+
+// Histogram is a fixed-size, lock-free log-bucketed histogram of
+// non-negative int64 values (negative samples clamp to 0). All fields
+// are updated with sync/atomic operations only; the struct is safe for
+// any number of concurrent writers and snapshot readers. A nil
+// *Histogram is valid and inert.
+//
+// The 64-bit fields must stay first for 32-bit atomic alignment
+// (julvet atomicalign); the struct is ~4KB, so Histograms are created
+// once per name and cached in the Recorder's registry.
+type Histogram struct {
+	count  int64
+	sum    int64
+	max    int64
+	counts [numHistBuckets]int64
+}
+
+// Record adds one sample. Wait-free: three atomic adds plus a CAS loop
+// on the max (contended only while the max is actively rising).
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	atomic.AddInt64(&h.counts[histIndex(v)], 1)
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if v <= old || atomic.CompareAndSwapInt64(&h.max, old, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// AddSnapshot merges a snapshot into the live histogram (atomic adds;
+// safe concurrently with Record).
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	atomic.AddInt64(&h.count, s.Count)
+	atomic.AddInt64(&h.sum, s.Sum)
+	for i, c := range s.Counts {
+		if c != 0 && i < numHistBuckets {
+			atomic.AddInt64(&h.counts[i], c)
+		}
+	}
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if s.Max <= old || atomic.CompareAndSwapInt64(&h.max, old, s.Max) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy. Concurrent Records may tear
+// *between* cells (a sample's count visible before its sum), which is
+// inherent to lock-free snapshots and bounded by the in-flight writer
+// count; totals are never corrupted.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  atomic.LoadInt64(&h.count),
+		Sum:    atomic.LoadInt64(&h.sum),
+		Max:    atomic.LoadInt64(&h.max),
+		Counts: make([]int64, numHistBuckets),
+	}
+	for i := range h.counts {
+		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, the unit of
+// merging and quantile estimation.
+type HistogramSnapshot struct {
+	Count  int64
+	Sum    int64
+	Max    int64
+	Counts []int64
+}
+
+// Merge folds o into s in place.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	if len(s.Counts) < len(o.Counts) {
+		grown := make([]int64, len(o.Counts))
+		copy(grown, s.Counts)
+		s.Counts = grown
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// exclusive upper edge of the bucket holding the ceil(q*count)-th
+// smallest sample, clamped to the observed max. Relative error is at
+// most one sub-bucket width (12.5%). Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			up := histUpper(i) - 1
+			if s.Max > 0 && up > s.Max {
+				up = s.Max
+			}
+			return up
+		}
+	}
+	return s.Max
+}
+
+// Summary condenses the snapshot to the quantities reports embed.
+type HistogramSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// Summary computes the standard p50/p90/p99/max digest.
+func (s HistogramSnapshot) Summary() HistogramSummary {
+	sum := HistogramSummary{Count: s.Count, Sum: s.Sum, Max: s.Max}
+	if s.Count > 0 {
+		sum.Mean = s.Sum / s.Count
+		sum.P50 = s.Quantile(0.50)
+		sum.P90 = s.Quantile(0.90)
+		sum.P99 = s.Quantile(0.99)
+	}
+	return sum
+}
+
+// --- Recorder integration ----------------------------------------------------
+
+// Histogram returns the named histogram, creating it on first use
+// (nil on a nil recorder — every *Histogram method is nil-safe, so
+// callers chain unconditionally).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, new(Histogram))
+	return v.(*Histogram)
+}
+
+// Observe records one sample into the named histogram.
+func (r *Recorder) Observe(name string, v int64) { r.Histogram(name).Record(v) }
+
+// ObserveDuration records d (in nanoseconds) into the named histogram.
+func (r *Recorder) ObserveDuration(name string, d time.Duration) {
+	r.Histogram(name).RecordDuration(d)
+}
+
+// Clock returns the current time on a live recorder and the zero time
+// on a nil one — the start-half of the ObserveSince pair. Instrumented
+// packages outside internal/obs and internal/harness are barred from
+// calling time.Now directly (julvet norandtime), and routing the reads
+// through the recorder also makes them free when telemetry is off.
+func (r *Recorder) Clock() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the nanoseconds elapsed since start (a value
+// returned by Clock) into the named histogram. No-op on a nil recorder
+// or a zero start.
+func (r *Recorder) ObserveSince(name string, start time.Time) {
+	if r == nil || start.IsZero() {
+		return
+	}
+	r.Observe(name, time.Since(start).Nanoseconds())
+}
+
+// HistSummary returns the named histogram's digest (zero if absent).
+func (r *Recorder) HistSummary(name string) HistogramSummary {
+	if r == nil {
+		return HistogramSummary{}
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram).Snapshot().Summary()
+	}
+	return HistogramSummary{}
+}
+
+// Histograms returns a point-in-time snapshot of every histogram.
+func (r *Recorder) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot)
+	r.hists.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// HistogramNames returns the histogram names in sorted order.
+func (r *Recorder) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	r.hists.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the gauge names in sorted order.
+func (r *Recorder) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	r.gauges.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// Gauges returns a point-in-time snapshot of all gauges.
+func (r *Recorder) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	r.gauges.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	return out
+}
+
+// Merge folds src's counters, gauges, and histograms into r: counters
+// and histograms add, gauges take src's value. Flight-recorder rings
+// and trace events are not merged (they are per-run diagnostics).
+// No-op when either recorder is nil.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, v := range src.Counters() {
+		r.Add(name, v)
+	}
+	for name, v := range src.Gauges() {
+		r.SetGauge(name, v)
+	}
+	for name, s := range src.Histograms() {
+		r.Histogram(name).AddSnapshot(s)
+	}
+}

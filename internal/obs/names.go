@@ -1,0 +1,54 @@
+package obs
+
+// Well-known histogram names. Instrumented packages observe
+// distributions under these keys so dashboards and the bench reports
+// can rely on stable names; ad-hoc names remain valid, but everything
+// in internal/ must register here (names_test.go pins that).
+const (
+	// HistRoundLatencyNs is the per-round wall-clock latency in
+	// nanoseconds, observed automatically by Recorder.RecordRound.
+	HistRoundLatencyNs = "round.latency_ns"
+	// HistRoundFrontier is the per-round frontier size (identifiers
+	// extracted/processed), observed automatically by RecordRound.
+	HistRoundFrontier = "round.frontier_size"
+	// HistNextBucketNs is the duration of one bucket.NextBucket call.
+	HistNextBucketNs = "bucket.next_ns"
+	// HistUpdateBucketsNs is the duration of one bucket.UpdateBuckets
+	// call (including the ones NextBucket issues internally during
+	// overflow redistribution).
+	HistUpdateBucketsNs = "bucket.update_ns"
+	// HistEdgeMapEdges is the out-degree sum of each edgeMap input
+	// frontier — the sparse-direction work bound, as a distribution.
+	HistEdgeMapEdges = "edgemap.frontier_edges"
+	// HistOpLatencyNs is whole-operation latency in nanoseconds; the
+	// CLIs observe one sample per measured run.
+	HistOpLatencyNs = "op.latency_ns"
+)
+
+// WellKnownNames returns the registry of every counter, gauge, and
+// histogram name the in-tree instrumentation reports under. Tests
+// assert that instrumented runs emit no names outside this set, so
+// exposition consumers (Prometheus scrapes, the bench reports) never
+// see ad-hoc drift.
+func WellKnownNames() map[string]bool {
+	return map[string]bool{
+		// counters
+		CtrBucketExtracted:     true,
+		CtrBucketMoved:         true,
+		CtrBucketSkipped:       true,
+		CtrBucketReturned:      true,
+		CtrBucketRangeAdvances: true,
+		CtrEdgeMapSparse:       true,
+		CtrEdgeMapDense:        true,
+		CtrEdgeMapEdges:        true,
+		// gauges
+		GaugeEdgeMapLastDense: true,
+		// histograms
+		HistRoundLatencyNs:  true,
+		HistRoundFrontier:   true,
+		HistNextBucketNs:    true,
+		HistUpdateBucketsNs: true,
+		HistEdgeMapEdges:    true,
+		HistOpLatencyNs:     true,
+	}
+}

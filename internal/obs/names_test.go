@@ -1,0 +1,83 @@
+package obs_test
+
+import (
+	"testing"
+
+	"julienne/internal/algo/densest"
+	"julienne/internal/algo/kcore"
+	"julienne/internal/algo/setcover"
+	"julienne/internal/algo/sssp"
+	"julienne/internal/gen"
+	"julienne/internal/obs"
+)
+
+// TestInstrumentationUsesRegisteredNames runs every instrumented
+// kernel (which transitively exercises the bucket structure and the
+// Ligra layer) and asserts that each counter, gauge, and histogram
+// name the run produced is registered in obs.WellKnownNames — the
+// no-ad-hoc-drift contract of the exposition surface. This test lives
+// in package obs_test so it can import the algo packages without a
+// cycle.
+func TestInstrumentationUsesRegisteredNames(t *testing.T) {
+	g := gen.RMAT(1<<10, 1<<13, true, 7)
+	wg := gen.LogWeights(g, 8)
+	inst := gen.SetCover(1<<8, 1<<10, 4, 9)
+
+	runs := map[string]func(rec *obs.Recorder){
+		"kcore": func(rec *obs.Recorder) {
+			kcore.Coreness(g, kcore.Options{Recorder: rec})
+		},
+		"sssp": func(rec *obs.Recorder) {
+			sssp.DeltaStepping(wg, 0, 64, sssp.Options{Recorder: rec})
+		},
+		"setcover": func(rec *obs.Recorder) {
+			setcover.Approx(inst.Graph, inst.Sets, setcover.Options{Recorder: rec})
+		},
+		"densest-charikar": func(rec *obs.Recorder) {
+			densest.CharikarWithOptions(g, densest.Options{Recorder: rec})
+		},
+		"densest-batch": func(rec *obs.Recorder) {
+			densest.PeelBatchWithOptions(g, 0.1, densest.Options{Recorder: rec})
+		},
+	}
+	known := obs.WellKnownNames()
+	for name, run := range runs {
+		rec := obs.NewRecorder()
+		run(rec)
+		if rec.NumRounds() == 0 {
+			t.Errorf("%s: no rounds recorded; instrumentation not wired", name)
+		}
+		for _, n := range rec.CounterNames() {
+			if !known[n] {
+				t.Errorf("%s: counter %q not in obs.WellKnownNames", name, n)
+			}
+		}
+		for _, n := range rec.GaugeNames() {
+			if !known[n] {
+				t.Errorf("%s: gauge %q not in obs.WellKnownNames", name, n)
+			}
+		}
+		hists := rec.HistogramNames()
+		if len(hists) == 0 {
+			t.Errorf("%s: no histograms recorded", name)
+		}
+		for _, n := range hists {
+			if !known[n] {
+				t.Errorf("%s: histogram %q not in obs.WellKnownNames", name, n)
+			}
+		}
+	}
+}
+
+// TestWellKnownNamesRoundLatencyAlwaysPresent pins that RecordRound
+// feeds the two automatic histograms every consumer relies on.
+func TestWellKnownNamesRoundLatencyAlwaysPresent(t *testing.T) {
+	rec := obs.NewRecorder()
+	kcore.Coreness(gen.RMAT(1<<10, 1<<13, true, 7), kcore.Options{Recorder: rec})
+	for _, name := range []string{obs.HistRoundLatencyNs, obs.HistRoundFrontier,
+		obs.HistNextBucketNs, obs.HistUpdateBucketsNs} {
+		if s := rec.HistSummary(name); s.Count == 0 {
+			t.Errorf("histogram %q empty after an instrumented kcore run", name)
+		}
+	}
+}

@@ -62,16 +62,27 @@ type Recorder struct {
 
 	counters sync.Map // string -> *int64, atomic adds
 	gauges   sync.Map // string -> *int64, atomic stores
+	hists    sync.Map // string -> *Histogram, atomic cells
 
-	mu        sync.Mutex
-	events    []TraceEvent
-	rounds    []RoundMetrics
-	observers []RoundObserver
+	// flight is the always-on per-round ring (flight.go). It lives
+	// behind a pointer so its 64-bit atomic fields start at offset 0
+	// on 32-bit platforms irrespective of the Recorder's own layout.
+	flight *flightRing
+
+	mu          sync.Mutex
+	events      []TraceEvent
+	rounds      []RoundMetrics
+	observers   []RoundObserver
+	flightAlgos []string // interned algo names for the flight ring
 }
 
 // NewRecorder creates an empty recorder whose trace clock starts now.
 func NewRecorder() *Recorder {
-	return &Recorder{start: time.Now()}
+	r := &Recorder{start: time.Now(), flight: new(flightRing)}
+	// Seed the allocation sample so the first round's delta is
+	// measured from here rather than from process start.
+	atomic.StoreInt64(&r.flight.lastAllocs, heapAllocsSample())
+	return r
 }
 
 // cell returns the atomic slot for name in m, creating it on first use.

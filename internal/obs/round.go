@@ -47,7 +47,9 @@ func (r *Recorder) OnRound(fn RoundObserver) {
 
 // RecordRound stores the metrics, emits a counter trace event (so the
 // frontier size and bucket traffic plot as time series under the round
-// spans in the trace viewer), and invokes registered observers.
+// spans in the trace viewer), feeds the latency and frontier-size
+// histograms, publishes the round into the flight-recorder ring, and
+// invokes registered observers.
 func (r *Recorder) RecordRound(m RoundMetrics) {
 	if r == nil {
 		return
@@ -63,10 +65,14 @@ func (r *Recorder) RecordRound(m RoundMetrics) {
 			"skipped":   m.Skipped,
 		},
 	})
+	r.Observe(HistRoundLatencyNs, m.Duration.Nanoseconds())
+	r.Observe(HistRoundFrontier, int64(m.FrontierSize))
 	r.mu.Lock()
 	r.rounds = append(r.rounds, m)
 	obs := r.observers
+	algoID := r.flightAlgoIDLocked(m.Algo)
 	r.mu.Unlock()
+	r.recordFlight(m, algoID)
 	for _, fn := range obs {
 		fn(m)
 	}
