@@ -80,8 +80,11 @@ BENCH_OUT ?= .
 bench:
 	$(GO) run ./cmd/bench -out $(BENCH_OUT)
 
+# bench-smoke also gates the fusion ablation: the fused grid-family
+# entries must extract fewer bucket rounds than their unfused
+# counterparts (obs counter, not wall time), wbfs at least 3x fewer.
 bench-smoke:
-	$(GO) run ./cmd/bench -smoke -out bench-out
+	$(GO) run ./cmd/bench -smoke -assert-fusion -out bench-out
 
 # obs-demo smoke-tests the observability plane end to end: run kcore
 # with -http on an ephemeral port, scrape /metrics until the

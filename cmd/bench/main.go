@@ -1,6 +1,6 @@
 // Command bench regenerates the repository's performance baseline:
 //
-//	bench [-smoke] [-out dir] [-reps n] [-seed s] [-http :9090]
+//	bench [-smoke] [-out dir] [-reps n] [-seed s] [-http :9090] [-assert-fusion]
 //
 // It measures the bucket structure's hot paths and the four bucketed
 // applications (k-core, ∆-stepping, wBFS, approximate set cover) at
@@ -9,6 +9,14 @@
 // bench`) additionally re-measure the pre-arena go-test benchmarks so
 // the files carry a before/after allocator comparison; -smoke (`make
 // bench-smoke`) shrinks inputs to CI size and skips the comparison.
+//
+// The algos report includes the bucket-fusion ablation on the grid
+// family (wbfs-fused, delta-stepping-fused vs their unfused
+// counterparts; DESIGN.md §11). -assert-fusion turns the ablation into
+// a gate: the run fails unless the fused entries extracted fewer
+// bucket rounds (obs bucket.buckets_returned) than the unfused ones,
+// with wbfs at least 3x fewer. CI's bench-smoke job runs with this
+// flag.
 //
 // With -http the suite's merged telemetry (counters plus round-latency
 // histograms from every instrumented run) is served live on the obs
@@ -41,6 +49,7 @@ func main() {
 	reps := flag.Int("reps", 0, "timing repetitions per configuration (default 5, 3 with -smoke)")
 	seed := flag.Uint64("seed", 0, "workload seed (default 2017)")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/obs, /debug/pprof on this address while benchmarking; keeps serving after the run until interrupted")
+	assertFusion := flag.Bool("assert-fusion", false, "fail unless the fused grid-family entries extract fewer bucket rounds than their unfused counterparts (wbfs: at least 3x fewer), judged by the obs bucket.buckets_returned counter")
 	flag.Parse()
 
 	cfg := bench.Config{Smoke: *smoke, Reps: *reps, Seed: *seed}
@@ -81,7 +90,15 @@ func main() {
 		fmt.Print(bench.FormatSummary(rep))
 	}
 	write("BENCH_bucket.json", bench.Bucket(cfg))
-	write("BENCH_algos.json", bench.Algos(cfg))
+	algos := bench.Algos(cfg)
+	write("BENCH_algos.json", algos)
+	if *assertFusion {
+		if err := bench.CheckFusionAblation(algos); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("fusion ablation: fused grid entries extract fewer bucket rounds than unfused (wbfs >= 3x)")
+	}
 
 	if serving != "" {
 		fmt.Fprintf(os.Stderr, "bench: run complete; still serving http://%s (interrupt to exit)\n", serving)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sssp [-algo wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial]
-//	     [-src V] [-delta D] [graph flags]
+//	     [-src V] [-delta D] [-fuse-frontier F] [-fuse-span S] [graph flags]
 //	     [-trace out.json] [-stats] [-pprof :6060]
 //
 // Unweighted inputs get the paper's wBFS weighting ([1, log n)) unless
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"julienne/internal/algo/sssp"
+	"julienne/internal/bucket"
 	"julienne/internal/cli"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
@@ -27,6 +28,8 @@ func main() {
 	algo := flag.String("algo", "delta", "algorithm: wbfs|delta|delta-lh|gap-bins|bellman-ford|dijkstra|dial")
 	src := flag.Uint("src", 0, "source vertex")
 	delta := flag.Int64("delta", 32768, "delta parameter (delta-stepping variants)")
+	fuseFrontier := flag.Int("fuse-frontier", 0, "bucket fusion: fuse consecutive buckets while the combined frontier stays at or under this size (wbfs/delta/delta-lh; 0 = fusion off)")
+	fuseSpan := flag.Int("fuse-span", 0, "bucket fusion: cap the fused run at this many consecutive bucket ids (0 = unbounded; only meaningful with -fuse-frontier)")
 	timeout := flag.Duration("timeout", 0, "stop the run after this long, exit 3 with partial stats (bucketed algos; 0 = no limit)")
 	gf := cli.Register(flag.CommandLine)
 	of := cli.RegisterObs(flag.CommandLine)
@@ -44,7 +47,11 @@ func main() {
 	fmt.Println(cli.Describe(g))
 
 	rec := of.Recorder()
-	opt := sssp.Options{Recorder: rec, Deadline: harness.DeadlineIn(*timeout)}
+	opt := sssp.Options{
+		Recorder: rec,
+		Deadline: harness.DeadlineIn(*timeout),
+		Fusion:   bucket.Fusion{MaxFrontier: *fuseFrontier, MaxSpan: *fuseSpan},
+	}
 	var res sssp.Result
 	s := graph.Vertex(*src)
 	elapsed := harness.Time(func() {

@@ -48,6 +48,12 @@ type Options struct {
 	// Deadline, when non-zero, stops the run once it passes (checked
 	// once per round, composing with Ctx — whichever trips first).
 	Deadline time.Time
+
+	// There is deliberately no bucket-fusion knob here (compare
+	// sssp.Options.Fusion): peeling must process buckets in exact order
+	// because removing a vertex can move its neighbors *down* into the
+	// bucket currently being peeled — fusing rounds would peel vertices
+	// against stale induced degrees and change the computed coreness.
 }
 
 // Result carries the coreness values along with the measurements the

@@ -61,6 +61,13 @@ type Options struct {
 	// Deadline, when non-zero, stops the run once it passes (checked
 	// once per round, composing with Ctx — whichever trips first).
 	Deadline time.Time
+
+	// There is deliberately no bucket-fusion knob here (compare
+	// sssp.Options.Fusion): the greedy guarantee depends on processing
+	// degree buckets in exact decreasing order, and sets not chosen by
+	// a MaNIS step rebucket *downward* — fusing rounds would let a set
+	// win with fewer uncovered elements than the bucket it was drained
+	// from claims, voiding the (1+ε)·H_n approximation bound.
 }
 
 func (o Options) epsilon() float64 {

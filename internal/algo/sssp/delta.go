@@ -26,6 +26,20 @@ type Options struct {
 	// Deadline, when non-zero, stops the run once it passes (checked
 	// once per round, composing with Ctx — whichever trips first).
 	Deadline time.Time
+	// Fusion enables fused bucket extraction (bucket.Fused, DESIGN.md
+	// §11): runs of consecutive small buckets drain into one frontier,
+	// and vertices relaxed back into the fused span are processed in
+	// the same round via the lazy buffer instead of round-tripping
+	// through bucket storage. This is safe for the algorithms in this
+	// package because their priorities are monotone — with non-negative
+	// weights a relaxation never lands behind the bucket that produced
+	// it — and it pays off on large-diameter inputs where per-round
+	// synchronization dominates. The zero value disables fusion and
+	// reproduces the classic loop exactly. kcore and setcover expose no
+	// such knob on purpose: peeling moves identifiers in both
+	// directions relative to the traversal, so fusing their rounds
+	// would change the computed cores/covers.
+	Fusion bucket.Fusion
 }
 
 // DeltaStepping implements Algorithm 2 of the paper: bucketed
@@ -65,70 +79,99 @@ func DeltaStepping(g graph.Graph, src graph.Vertex, delta int64, opt Options) Re
 
 	res := Result{}
 	always := func(graph.Vertex) bool { return true }
+	fus := opt.Fusion
 	var prevStats bucket.Stats
 	var prevRelax int64
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
+loop:
 	for {
 		if cause := cancel.Stopped(); cause != nil {
 			res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
 			break
 		}
-		// ids aliases the bucket structure's arena: valid only until
-		// the next NextBucket call, and fully consumed this round.
-		id, ids := b.NextBucket()
+		// ids aliases the bucket structure's arena: valid only until the
+		// next NextBucket/NextBucketFused/DrainLazy/UpdateBuckets call,
+		// and fully consumed this wave. With fusion enabled the frontier
+		// covers the fused bucket range [id, last]; without it, last ==
+		// id and the inner loop below runs exactly once.
+		var id, last bucket.ID
+		var ids []uint32
+		if fus.Enabled() {
+			id, last, ids = b.NextBucketFused(fus.MaxFrontier, fus.MaxSpan)
+		} else {
+			id, ids = b.NextBucket()
+			last = id
+		}
 		if id == bucket.Nil {
 			break
 		}
-		sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(ids))
-		res.Rounds++
-		frontier := ligra.FromSparse(n, ids)
-		roundEdges := parallel.Sum(len(ids), 0, func(i int) int64 {
-			return int64(g.OutDegree(ids[i]))
-		})
-		res.EdgesTraversed += roundEdges
-		// Relax the out-edges of the bucket (Algorithm 2, line 18). The
-		// tagged output carries each improved vertex's distance at the
-		// start of the round, captured by the winning relaxer.
-		moved := ligra.EdgeMapTagged(g, frontier, always,
-			func(s, dst graph.Vertex, w graph.Weight) (uint64, bool) {
-				return relaxCapture(sp, &res.Relaxations, s, dst, w)
+		for len(ids) > 0 {
+			sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(ids))
+			res.Rounds++
+			frontier := ligra.FromSparse(n, ids)
+			roundEdges := parallel.Sum(len(ids), 0, func(i int) int64 {
+				return int64(g.OutDegree(ids[i]))
 			})
-		// Reset (lines 11–13): clear the round flag and compute each
-		// vertex's bucket move from its start-of-round bucket to its
-		// new bucket.
-		rebucket := ligra.TagMapTagged(moved, func(v graph.Vertex, oldDist uint64) (bucket.Dest, bool) {
-			newDist := sp[v] &^ flag
-			sp[v] = newDist
-			prevB, newB := bktOf(oldDist), bktOf(newDist)
-			var dest bucket.Dest
-			if newB == prevB && newB == id {
-				// v sat in the current bucket and was improved to a
-				// distance still inside it. The extraction consumed
-				// its physical copy, so "no logical move" must still
-				// reinsert it (the light-edge iteration of
-				// ∆-stepping); prev = Nil states the physical truth.
-				dest = b.GetBucket(bucket.Nil, newB)
-			} else {
-				dest = b.GetBucket(prevB, newB)
+			res.EdgesTraversed += roundEdges
+			// Relax the out-edges of the frontier (Algorithm 2, line 18).
+			// The tagged output carries each improved vertex's distance
+			// at the start of the round, captured by the winning relaxer.
+			moved := ligra.EdgeMapTagged(g, frontier, always,
+				func(s, dst graph.Vertex, w graph.Weight) (uint64, bool) {
+					return relaxCapture(sp, &res.Relaxations, s, dst, w)
+				})
+			// Reset (lines 11–13): clear the round flag and compute each
+			// vertex's bucket move from its start-of-round bucket to its
+			// new bucket.
+			rebucket := ligra.TagMapTagged(moved, func(v graph.Vertex, oldDist uint64) (bucket.Dest, bool) {
+				newDist := sp[v] &^ flag
+				sp[v] = newDist
+				prevB, newB := bktOf(oldDist), bktOf(newDist)
+				var dest bucket.Dest
+				if newB == prevB && newB >= id && newB <= last {
+					// v sat in the current bucket range and was improved
+					// to a distance still inside it. The extraction
+					// consumed its physical copy, so "no logical move"
+					// must still reinsert it (the light-edge iteration
+					// of ∆-stepping); prev = Nil states the physical
+					// truth. Under fusion the structure routes this to
+					// the lazy buffer for the next wave.
+					dest = b.GetBucket(bucket.Nil, newB)
+				} else {
+					dest = b.GetBucket(prevB, newB)
+				}
+				return dest, dest != bucket.None
+			})
+			b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
+				return rebucket.IDs[j], rebucket.Vals[j]
+			})
+			dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
+			if rec != nil {
+				cur := b.Stats()
+				sd := cur.Sub(prevStats)
+				prevStats = cur
+				prevRelax = res.Relaxations
+				rec.RecordRound(obs.RoundMetrics{
+					Algo: "sssp", Round: res.Rounds, Bucket: id,
+					FrontierSize: len(ids), EdgesTraversed: roundEdges,
+					Dense:     false, // EdgeMapTagged is push-only
+					Extracted: sd.Extracted, Moved: sd.Moved,
+					Skipped: sd.Skipped, Duration: dur,
+				})
 			}
-			return dest, dest != bucket.None
-		})
-		b.UpdateBuckets(rebucket.Size(), func(j int) (uint32, bucket.Dest) {
-			return rebucket.IDs[j], rebucket.Vals[j]
-		})
-		dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
-		if rec != nil {
-			cur := b.Stats()
-			sd := cur.Sub(prevStats)
-			prevStats = cur
-			prevRelax = res.Relaxations
-			rec.RecordRound(obs.RoundMetrics{
-				Algo: "sssp", Round: res.Rounds, Bucket: id,
-				FrontierSize: len(ids), EdgesTraversed: roundEdges,
-				Dense:     false, // EdgeMapTagged is push-only
-				Extracted: sd.Extracted, Moved: sd.Moved,
-				Skipped: sd.Skipped, Duration: dur,
-			})
+			if !fus.Enabled() {
+				break
+			}
+			// Same-round processing of the fused span: everything
+			// relaxed into [id, last] this wave comes back immediately
+			// instead of waiting for another synchronization round.
+			ids = b.DrainLazy()
+			if len(ids) > 0 {
+				if cause := cancel.Stopped(); cause != nil {
+					res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
+					break loop
+				}
+			}
 		}
 	}
 	res.BucketStats = b.Stats()

@@ -79,141 +79,175 @@ func DeltaSteppingLH(g graph.Graph, src graph.Vertex, delta int64, opt Options) 
 		active   bool
 	}
 
+	fus := opt.Fusion
 	var prevStats bucket.Stats
 	var prevRelax int64
 	cancel := obs.NewCancelCheck(opt.Ctx, opt.Deadline)
+loop:
 	for {
 		if cause := cancel.Stopped(); cause != nil {
 			res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
 			break
 		}
-		id, ids := b.NextBucket()
+		// With fusion enabled the extraction covers the fused bucket
+		// range [id, last] and the annulus widens to match; without it,
+		// last == id and the segment loop below runs exactly once.
+		var id, last bucket.ID
+		var ids []uint32
+		if fus.Enabled() {
+			id, last, ids = b.NextBucketFused(fus.MaxFrontier, fus.MaxSpan)
+		} else {
+			id, ids = b.NextBucket()
+			last = id
+		}
 		if id == bucket.Nil {
 			break
 		}
-		annulus++
-		annulusEnd := (uint64(id) + 1) * udelta
-		var capturedIDs []graph.Vertex
-		var capturedOld []uint64
+		annulusEnd := (uint64(last) + 1) * udelta
+		// Each drained frontier is one segment of the (possibly fused)
+		// annulus, with its own mark epoch. Without fusion there is
+		// exactly one segment. With fusion a heavy relaxation may land
+		// inside the fused span without being activated by the light
+		// rounds (a heavy edge jumps more than one ∆-annulus but not
+		// necessarily past the whole span); such vertices round-trip
+		// through the lazy buffer and come back as the next segment.
+		for len(ids) > 0 {
+			annulus++
+			var capturedIDs []graph.Vertex
+			var capturedOld []uint64
 
-		// ids aliases the bucket arena (valid only until the next
-		// NextBucket call), but settled is appended to during the light
-		// rounds and read by the heavy phase — so copy it out.
-		settled := append([]graph.Vertex(nil), ids...)
-		parallel.For(len(ids), parallel.DefaultGrain, func(i int) {
-			annulusMark[ids[i]] = annulus
-		})
-
-		active := ids
-		for len(active) > 0 {
-			sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(active))
-			res.Rounds++
-			round++
-			roundEdges := parallel.Sum(len(active), 0, func(i int) int64 {
-				return int64(light.OutDegree(active[i]))
+			// ids aliases the bucket arena (valid only until the next
+			// structure call), but settled is appended to during the
+			// light rounds and read by the heavy phase — so copy it out.
+			settled := append([]graph.Vertex(nil), ids...)
+			parallel.For(len(ids), parallel.DefaultGrain, func(i int) {
+				annulusMark[ids[i]] = annulus
 			})
-			res.EdgesTraversed += roundEdges
-			moved := ligra.EdgeMapTagged(light, ligra.FromSparse(n, active), always,
-				func(s, dst graph.Vertex, w graph.Weight) (capture, bool) {
-					nDist := load(sp, s) + uint64(w)
-					for {
-						old := atomic.LoadUint64(&sp[dst])
-						oDist := old &^ flag
-						if nDist >= oDist {
-							return capture{}, false
-						}
-						if atomic.CompareAndSwapUint64(&sp[dst], old, flag|nDist) {
-							atomic.AddInt64(&res.Relaxations, 1)
-							c := capture{oldDist: oDist, captured: old&flag == 0}
-							if nDist < annulusEnd {
-								// Joins this annulus' next light round;
-								// the mark CAS ensures one activation
-								// per vertex per round.
-								for {
-									rm := atomic.LoadUint64(&roundMark[dst])
-									if rm == round {
-										break
-									}
-									if atomic.CompareAndSwapUint64(&roundMark[dst], rm, round) {
-										c.active = true
-										break
+
+			active := ids
+			for len(active) > 0 {
+				sp2 := rec.StartSpan("sssp.round").Arg("bucket", id).Arg("frontier", len(active))
+				res.Rounds++
+				round++
+				roundEdges := parallel.Sum(len(active), 0, func(i int) int64 {
+					return int64(light.OutDegree(active[i]))
+				})
+				res.EdgesTraversed += roundEdges
+				moved := ligra.EdgeMapTagged(light, ligra.FromSparse(n, active), always,
+					func(s, dst graph.Vertex, w graph.Weight) (capture, bool) {
+						nDist := load(sp, s) + uint64(w)
+						for {
+							old := atomic.LoadUint64(&sp[dst])
+							oDist := old &^ flag
+							if nDist >= oDist {
+								return capture{}, false
+							}
+							if atomic.CompareAndSwapUint64(&sp[dst], old, flag|nDist) {
+								atomic.AddInt64(&res.Relaxations, 1)
+								c := capture{oldDist: oDist, captured: old&flag == 0}
+								if nDist < annulusEnd {
+									// Joins this annulus' next light round;
+									// the mark CAS ensures one activation
+									// per vertex per round.
+									for {
+										rm := atomic.LoadUint64(&roundMark[dst])
+										if rm == round {
+											break
+										}
+										if atomic.CompareAndSwapUint64(&roundMark[dst], rm, round) {
+											c.active = true
+											break
+										}
 									}
 								}
+								if c.captured || c.active {
+									return c, true
+								}
+								return capture{}, false
 							}
-							if c.captured || c.active {
-								return c, true
-							}
-							return capture{}, false
+						}
+					})
+				var nextActive []graph.Vertex
+				for i := 0; i < moved.Size(); i++ {
+					v, c := moved.At(i)
+					if c.captured {
+						capturedIDs = append(capturedIDs, v)
+						capturedOld = append(capturedOld, c.oldDist)
+					}
+					if c.active {
+						nextActive = append(nextActive, v)
+						if annulusMark[v] != annulus {
+							annulusMark[v] = annulus
+							settled = append(settled, v)
 						}
 					}
-				})
-			var nextActive []graph.Vertex
-			for i := 0; i < moved.Size(); i++ {
-				v, c := moved.At(i)
-				if c.captured {
-					capturedIDs = append(capturedIDs, v)
-					capturedOld = append(capturedOld, c.oldDist)
 				}
-				if c.active {
-					nextActive = append(nextActive, v)
-					if annulusMark[v] != annulus {
-						annulusMark[v] = annulus
-						settled = append(settled, v)
-					}
+				dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
+				if rec != nil {
+					// Bucket traffic moves at annulus granularity (extraction
+					// at NextBucket, rebucketing at UpdateBuckets), so the
+					// annulus' extraction delta lands on its first light
+					// round and its rebucket delta on the next annulus'.
+					cur := b.Stats()
+					sd := cur.Sub(prevStats)
+					prevStats = cur
+					prevRelax = res.Relaxations
+					rec.RecordRound(obs.RoundMetrics{
+						Algo: "sssp", Round: res.Rounds, Bucket: id,
+						FrontierSize: len(active), EdgesTraversed: roundEdges,
+						Extracted: sd.Extracted, Moved: sd.Moved,
+						Skipped: sd.Skipped, Duration: dur,
+					})
 				}
+				active = nextActive
 			}
-			dur := sp2.Arg("relaxations", res.Relaxations-prevRelax).End()
-			if rec != nil {
-				// Bucket traffic moves at annulus granularity (extraction
-				// at NextBucket, rebucketing at UpdateBuckets), so the
-				// annulus' extraction delta lands on its first light
-				// round and its rebucket delta on the next annulus'.
-				cur := b.Stats()
-				sd := cur.Sub(prevStats)
-				prevStats = cur
-				prevRelax = res.Relaxations
-				rec.RecordRound(obs.RoundMetrics{
-					Algo: "sssp", Round: res.Rounds, Bucket: id,
-					FrontierSize: len(active), EdgesTraversed: roundEdges,
-					Extracted: sd.Extracted, Moved: sd.Moved,
-					Skipped: sd.Skipped, Duration: dur,
-				})
-			}
-			active = nextActive
-		}
 
-		// Heavy edges of every vertex settled in this annulus, once.
-		res.EdgesTraversed += parallel.Sum(len(settled), 0, func(i int) int64 {
-			return int64(heavy.OutDegree(settled[i]))
-		})
-		movedH := ligra.EdgeMapTagged(heavy, ligra.FromSparse(n, settled), always,
-			func(s, dst graph.Vertex, w graph.Weight) (uint64, bool) {
-				return relaxCapture(sp, &res.Relaxations, s, dst, w)
+			// Heavy edges of every vertex settled in this annulus, once.
+			res.EdgesTraversed += parallel.Sum(len(settled), 0, func(i int) int64 {
+				return int64(heavy.OutDegree(settled[i]))
 			})
-		for i := 0; i < movedH.Size(); i++ {
-			v, old := movedH.At(i)
-			capturedIDs = append(capturedIDs, v)
-			capturedOld = append(capturedOld, old)
-		}
-
-		// Rebucket every captured vertex. Vertices ending inside the
-		// current annulus are settled and must not be reinserted; all
-		// captured vertices get their flags cleared.
-		dests := make([]bucket.Dest, len(capturedIDs))
-		parallel.For(len(capturedIDs), parallel.DefaultGrain, func(i int) {
-			v := capturedIDs[i]
-			newDist := sp[v] &^ flag
-			sp[v] = newDist
-			newB := bktOf(newDist)
-			if newB == id {
-				dests[i] = bucket.None
-				return
+			movedH := ligra.EdgeMapTagged(heavy, ligra.FromSparse(n, settled), always,
+				func(s, dst graph.Vertex, w graph.Weight) (uint64, bool) {
+					return relaxCapture(sp, &res.Relaxations, s, dst, w)
+				})
+			for i := 0; i < movedH.Size(); i++ {
+				v, old := movedH.At(i)
+				capturedIDs = append(capturedIDs, v)
+				capturedOld = append(capturedOld, old)
 			}
-			dests[i] = b.GetBucket(bktOf(capturedOld[i]), newB)
-		})
-		b.UpdateBuckets(len(capturedIDs), func(j int) (uint32, bucket.Dest) {
-			return capturedIDs[j], dests[j]
-		})
+
+			// Rebucket every captured vertex. Vertices this segment settled
+			// (in-span and marked with the segment's epoch) must not be
+			// reinserted; in-span vertices the light rounds never activated
+			// (heavy relaxations landing inside the fused span) go through
+			// GetBucket, which routes them to the lazy buffer for the next
+			// segment. All captured vertices get their flags cleared.
+			dests := make([]bucket.Dest, len(capturedIDs))
+			parallel.For(len(capturedIDs), parallel.DefaultGrain, func(i int) {
+				v := capturedIDs[i]
+				newDist := sp[v] &^ flag
+				sp[v] = newDist
+				newB := bktOf(newDist)
+				if newB >= id && newB <= last && annulusMark[v] == annulus {
+					dests[i] = bucket.None
+					return
+				}
+				dests[i] = b.GetBucket(bktOf(capturedOld[i]), newB)
+			})
+			b.UpdateBuckets(len(capturedIDs), func(j int) (uint32, bucket.Dest) {
+				return capturedIDs[j], dests[j]
+			})
+			if !fus.Enabled() {
+				break
+			}
+			ids = b.DrainLazy()
+			if len(ids) > 0 {
+				if cause := cancel.Stopped(); cause != nil {
+					res.Err = rec.NewCanceled("sssp", res.Rounds, cause)
+					break loop
+				}
+			}
+		}
 	}
 	res.BucketStats = b.Stats()
 	res.Dist = finalize(sp)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/parser"
 	"go/token"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,6 +24,54 @@ func TestAtomicAlign(t *testing.T) {
 
 func TestArenaAlias(t *testing.T) {
 	RunTest(t, "testdata/src", ArenaAlias, "arenaalias")
+}
+
+// arenaAliasDiags runs ArenaAlias over the arenaalias fixture tree
+// without want-comment checking and returns the diagnosed lines keyed
+// by base file name.
+func arenaAliasDiags(t *testing.T) map[string][]int {
+	t.Helper()
+	all, err := LoadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, pkg := range all {
+		if pkg.Path == "arenaalias" || strings.HasPrefix(pkg.Path, "arenaalias/") {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	out := map[string][]int{}
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{ArenaAlias}) {
+		base := filepath.Base(d.Pos.Filename)
+		out[base] = append(out[base], d.Pos.Line)
+	}
+	return out
+}
+
+// TestArenaAliasFusedEdgesLoadBearing is the mutation test for the
+// fused invalidation edges: removing NextBucketFused and DrainLazy from
+// arenaInvalidators must silence exactly the two fused fixtures whose
+// only intervening call is a fused one, while the UpdateBuckets-backed
+// fused case and every pre-existing fixture keep firing — proving the
+// new edges, not some older rule, are what catch them.
+func TestArenaAliasFusedEdgesLoadBearing(t *testing.T) {
+	before := arenaAliasDiags(t)
+	if n := len(before["fused.go"]); n != 3 {
+		t.Fatalf("unmutated analyzer found %d fused.go diagnostics at lines %v, want 3",
+			n, before["fused.go"])
+	}
+	orig := arenaInvalidators
+	arenaInvalidators = []string{"NextBucket", "UpdateBuckets"}
+	defer func() { arenaInvalidators = orig }()
+	after := arenaAliasDiags(t)
+	if n := len(after["fused.go"]); n != 1 {
+		t.Fatalf("mutated analyzer found %d fused.go diagnostics at lines %v, want only the UpdateBuckets-invalidated one",
+			n, after["fused.go"])
+	}
+	if len(after["a.go"]) != len(before["a.go"]) {
+		t.Fatalf("mutation bled into a.go diagnostics: %v -> %v", before["a.go"], after["a.go"])
+	}
 }
 
 func TestScratchPair(t *testing.T) {

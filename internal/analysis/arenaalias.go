@@ -7,55 +7,102 @@ import (
 	"sort"
 )
 
-// ArenaAlias enforces the NextBucket arena-aliasing contract: the
-// identifier slice returned by Structure.NextBucket aliases an arena
-// owned by the bucket structure and is overwritten by the next
-// NextBucket call (and, for implementations that share scratch, by
-// UpdateBuckets). A caller that reads such a slice after a subsequent
-// NextBucket/UpdateBuckets call on any structure in the same function
+// ArenaAlias enforces the bucket arena-aliasing contract: the
+// identifier slices returned by Structure.NextBucket and the fused
+// protocol (Fused.NextBucketFused, Fused.DrainLazy) alias an arena
+// owned by the bucket structure and are overwritten by the next
+// extraction, drain, or update call. A caller that reads such a slice
+// after a subsequent arena call on any structure in the same function
 // must have copied it out explicitly first (append onto a fresh or
 // truncated slice, copy, or slices.Clone).
 //
 // The check is lexical within one function body: a binding
-// `id, ids := b.NextBucket()` arms `ids`; any later
-// NextBucket/UpdateBuckets call expires it; a subsequent use of an
-// expired slice is reported unless the use is itself a recognized copy
-// or the variable was reassigned in between. Taint follows plain
-// aliasing assignments (`saved = ids`). Loops are handled by the
-// source order of the loop body, which matches every peeling loop in
-// this repository (extract at the top, consume within the round); the
-// fixtures pin the supported shapes.
+// `id, ids := b.NextBucket()` (or the NextBucketFused / DrainLazy
+// forms) arms the slice; any later call to a method in
+// arenaInvalidators expires it; a subsequent use of an expired slice
+// is reported unless the use is itself a recognized copy or the
+// variable was reassigned in between. Taint follows plain aliasing
+// assignments (`saved = ids`). Loops are handled by the source order
+// of the loop body, which matches every peeling loop and fused wave
+// loop in this repository (extract at the top, consume within the
+// round); the fixtures pin the supported shapes.
 var ArenaAlias = &Analyzer{
 	Name: "arenaalias",
-	Doc:  "flags uses of NextBucket result slices after the arena has been invalidated",
+	Doc:  "flags uses of bucket arena slices (NextBucket/NextBucketFused/DrainLazy) after the arena has been invalidated",
 	Run:  runArenaAlias,
 }
 
-// arenaProducer/arenaInvalidator name the methods with arena
-// semantics. Matching is by method name plus a package check loose
+// arenaProducers maps each method that returns an arena-aliased slice
+// to the shape of the binding assignment: how many values the call
+// produces and which of them is the slice.
+var arenaProducers = map[string]struct {
+	results  int // assignment LHS arity of the producing form
+	sliceIdx int // index of the arena slice among the results
+}{
+	"NextBucket":      {results: 2, sliceIdx: 1},
+	"NextBucketFused": {results: 3, sliceIdx: 2},
+	"DrainLazy":       {results: 1, sliceIdx: 0},
+}
+
+// arenaInvalidators names the methods whose call flips the arena: every
+// producer (the next extraction or drain recompacts into the same
+// buffer) plus UpdateBuckets (implementations share scratch with the
+// update path). The fused-protocol entries are load-bearing: the
+// mutation test in analyzers_test.go removes them and proves the fused
+// fixtures' violations go undetected.
+var arenaInvalidators = []string{"NextBucket", "NextBucketFused", "DrainLazy", "UpdateBuckets"}
+
+// arenaMethodName returns the method name of a selector call whose
+// callee resolves to a function. Matching is by method name — loose
 // enough to cover the bucket package, the public API wrappers, and the
-// fixtures, but tight enough to skip unrelated types.
-func isArenaMethod(pass *Pass, call *ast.CallExpr, names ...string) bool {
+// fixtures, but tight enough to skip unrelated calls.
+func arenaMethodName(pass *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return false
+		return "", false
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func isArenaMethod(pass *Pass, call *ast.CallExpr, names []string) bool {
+	got, ok := arenaMethodName(pass, call)
 	if !ok {
 		return false
 	}
 	for _, name := range names {
-		if fn.Name() == name {
+		if got == name {
 			return true
 		}
 	}
 	return false
 }
 
+// isArenaProducer reports whether call produces an arena slice and, if
+// so, the shape of its binding assignment.
+func isArenaProducer(pass *Pass, call *ast.CallExpr) (struct {
+	results  int
+	sliceIdx int
+}, bool) {
+	name, ok := arenaMethodName(pass, call)
+	if !ok {
+		var zero struct {
+			results  int
+			sliceIdx int
+		}
+		return zero, false
+	}
+	p, ok := arenaProducers[name]
+	return p, ok
+}
+
 // arenaEvent is one position-ordered event inside a function body.
 type arenaEvent struct {
 	pos  token.Pos
-	kind int // 0 = invalidation call, 1 = binding, 2 = use, 3 = reassign/copy-out
+	kind int // 0 = invalidation call, 1 = binding, 2 = reassign, 3 = use
 	obj  types.Object
 	node ast.Node
 	// aliasFrom, for bindings created by plain aliasing assignment.
@@ -64,11 +111,15 @@ type arenaEvent struct {
 	copying bool
 }
 
+// At equal positions the kind order decides: an invalidating call
+// expires before the binding at the same call re-arms, and a
+// reassignment's clear covers the LHS mention (recorded by go/types as
+// a use at the statement's own position) before the use is simulated.
 const (
 	evInvalidate = iota
 	evBind
-	evUse
 	evClear
+	evUse
 )
 
 func runArenaAlias(pass *Pass) error {
@@ -90,7 +141,9 @@ func runArenaAlias(pass *Pass) error {
 func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 	var events []arenaEvent
 
-	// Collect bindings: `id, ids := x.NextBucket()` (any assign token).
+	// Collect bindings: `id, ids := x.NextBucket()`,
+	// `first, last, ids := x.NextBucketFused(...)`, `lz := x.DrainLazy()`
+	// (any assign token).
 	bound := map[types.Object]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		asg, ok := n.(*ast.AssignStmt)
@@ -98,15 +151,19 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		call, ok := asg.Rhs[0].(*ast.CallExpr)
-		if !ok || !isArenaMethod(pass, call, "NextBucket") {
+		if !ok {
 			return true
 		}
-		// NextBucket returns (ID, []uint32); the slice is the second
-		// value. A single-LHS form would not type-check.
-		if len(asg.Lhs) != 2 {
+		p, ok := isArenaProducer(pass, call)
+		if !ok {
 			return true
 		}
-		if id, ok := asg.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+		// The arena slice sits at a fixed result index; any other LHS
+		// arity would not type-check for the producing form.
+		if len(asg.Lhs) != p.results {
+			return true
+		}
+		if id, ok := asg.Lhs[p.sliceIdx].(*ast.Ident); ok && id.Name != "_" {
 			obj := pass.TypesInfo.Defs[id]
 			if obj == nil {
 				obj = pass.TypesInfo.Uses[id]
@@ -129,7 +186,7 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.CallExpr:
-			if isArenaMethod(pass, s, "NextBucket", "UpdateBuckets") {
+			if isArenaMethod(pass, s, arenaInvalidators) {
 				// The call expires previously armed slices. Recorded at
 				// the call's end, not its start: the call's own
 				// arguments — in particular the update closure that
@@ -167,12 +224,12 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 						events = append(events, arenaEvent{pos: s.Pos(), kind: evBind, obj: obj, aliasFrom: from, node: s})
 						continue
 					}
-					if _, isCall := s.Rhs[i].(*ast.CallExpr); isCall {
-						if call := s.Rhs[i].(*ast.CallExpr); isArenaMethod(pass, call, "NextBucket") {
-							continue // handled as a binding above
-						}
-					}
 				}
+				// Reassignment from a producer call also lands here: the
+				// clear at the statement start covers the LHS mention
+				// (which go/types records as a use), and the evBind the
+				// binding pass recorded at the call's end re-arms the
+				// variable afterwards.
 				events = append(events, arenaEvent{pos: s.Pos(), kind: evClear, obj: obj, node: s})
 			}
 		}
@@ -238,7 +295,7 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 			}
 			reported[ev.obj] = true
 			pass.Reportf(ev.pos,
-				"%s aliases the bucket arena and a NextBucket/UpdateBuckets call has since invalidated it; copy the slice out before the next call",
+				"%s aliases the bucket arena and a later NextBucket/NextBucketFused/DrainLazy/UpdateBuckets call has since invalidated it; copy the slice out before the next call",
 				ev.obj.Name())
 		}
 	}

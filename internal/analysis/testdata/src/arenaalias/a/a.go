@@ -23,7 +23,7 @@ func each(n int, f func(int)) {
 func Bad(b *B) uint32 {
 	_, ids := b.NextBucket()
 	b.UpdateBuckets(1)
-	return ids[0] // want "ids aliases the bucket arena and a NextBucket/UpdateBuckets call has since invalidated it"
+	return ids[0] // want "ids aliases the bucket arena and a later NextBucket/NextBucketFused/DrainLazy/UpdateBuckets call has since invalidated it"
 }
 
 // BadNext reads the slice after the next NextBucket overwrote it.

@@ -1,0 +1,63 @@
+// Fixtures for the fused arena methods: NextBucketFused and DrainLazy
+// return slices aliasing the same arena NextBucket uses, and each call
+// also recompacts it — so either one invalidates every slice handed
+// out earlier.
+package a
+
+func (b *B) NextBucketFused(maxFrontier, maxSpan int) (uint32, uint32, []uint32) {
+	return 0, 0, b.arena
+}
+
+func (b *B) DrainLazy() []uint32 { return b.arena }
+
+// BadFusedFrontier reads the fused frontier after DrainLazy recompacted
+// the arena. Only the DrainLazy invalidation edge catches this; the
+// mutation test in analyzers_test.go removes that edge and proves the
+// diagnostic disappears.
+func BadFusedFrontier(b *B) uint32 {
+	_, _, ids := b.NextBucketFused(8, 0)
+	b.DrainLazy()
+	return ids[0] // want "ids aliases the bucket arena"
+}
+
+// BadLazyAfterFused reads a drained slice after the next fused
+// extraction overwrote it — the NextBucketFused invalidation edge.
+func BadLazyAfterFused(b *B) uint32 {
+	lz := b.DrainLazy()
+	_, _, _ = b.NextBucketFused(8, 0)
+	return lz[0] // want "lz aliases the bucket arena"
+}
+
+// BadFusedAfterUpdate pairs the fused producer with the pre-existing
+// UpdateBuckets invalidator; it must keep firing even when the fused
+// invalidation edges are mutated away.
+func BadFusedAfterUpdate(b *B) uint32 {
+	_, _, ids := b.NextBucketFused(8, 0)
+	b.UpdateBuckets(1)
+	return ids[0] // want "ids aliases the bucket arena"
+}
+
+// FusedCopyOut is the contractual fix: copy the frontier before the
+// drain flips the arena.
+func FusedCopyOut(b *B) []uint32 {
+	_, _, ids := b.NextBucketFused(8, 0)
+	out := append([]uint32(nil), ids...)
+	b.DrainLazy()
+	return out
+}
+
+// FusedWaveLoop is the canonical fused round shape (extract, consume,
+// update, drain, repeat): each drain re-arms the working slice before
+// the next read, so nothing expires.
+func FusedWaveLoop(b *B) uint32 {
+	var total uint32
+	_, _, wave := b.NextBucketFused(8, 0)
+	for len(wave) > 0 {
+		for _, id := range wave {
+			total += id
+		}
+		b.UpdateBuckets(len(wave))
+		wave = b.DrainLazy()
+	}
+	return total
+}

@@ -5,6 +5,11 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"julienne/internal/algo/sssp"
+	"julienne/internal/bucket"
+	"julienne/internal/gen"
+	"julienne/internal/obs"
 )
 
 func TestDeltasPairsByName(t *testing.T) {
@@ -49,6 +54,75 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if back.Results[0].Counters["bucket.moved"] != 7 {
 		t.Fatal("counters lost")
+	}
+}
+
+// TestFusionReducesRounds pins the ablation's headline claim on a
+// CI-sized road-like input: maximal bucket fusion must extract at
+// least 3x fewer bucket rounds than the unfused run on a weighted
+// grid, at identical distances and near-identical relaxation counts.
+// (Near: inside a fused span a vertex can be relaxed through an
+// intermediate tentative distance the strict bucket order would have
+// skipped, so the fused count runs a few percent above unfused; the
+// savings must come from fewer rounds, not a different traversal.)
+func TestFusionReducesRounds(t *testing.T) {
+	g := gen.LogWeights(gen.Grid2D(40, 50), 2017)
+	unfused := sssp.WBFS(g, 0, sssp.Options{})
+	fused := sssp.WBFS(g, 0, sssp.Options{Fusion: bucket.MaximalFusion()})
+	ur, fr := unfused.BucketStats.BucketsReturned, fused.BucketStats.BucketsReturned
+	if ur <= 0 || fr <= 0 {
+		t.Fatalf("degenerate runs: unfused %d rounds, fused %d", ur, fr)
+	}
+	if 3*fr > ur {
+		t.Fatalf("fused wBFS extracted %d bucket rounds vs unfused %d; want at least 3x fewer", fr, ur)
+	}
+	// Parallel relaxation counts are scheduling-dependent (successful
+	// atomic-min races), so bound the ratio rather than demanding
+	// equality: a fused traversal of the same graph stays within
+	// [0.75x, 1.5x] of the unfused count.
+	if r := 4 * fused.Relaxations; r < 3*unfused.Relaxations || r > 6*unfused.Relaxations {
+		t.Errorf("fusion changed the traversal: %d relaxations vs unfused %d (want near-identical)",
+			fused.Relaxations, unfused.Relaxations)
+	}
+	for v := range fused.Dist {
+		if fused.Dist[v] != unfused.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, fused.Dist[v], unfused.Dist[v])
+		}
+	}
+}
+
+// TestCheckFusionAblation exercises the report gate cmd/bench
+// -assert-fusion applies, on synthetic reports.
+func TestCheckFusionAblation(t *testing.T) {
+	entry := func(name string, procs int, rounds int64) Entry {
+		return Entry{Name: name, Family: "grid", Procs: procs,
+			Counters: map[string]int64{obs.CtrBucketReturned: rounds}}
+	}
+	good := &Report{Results: []Entry{
+		entry("wbfs", 1, 900), entry("wbfs-fused", 1, 120),
+		entry("delta-stepping", 1, 60), entry("delta-stepping-fused", 1, 40),
+	}}
+	if err := CheckFusionAblation(good); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		rep  *Report
+		want string
+	}{
+		{"no fused entries", &Report{Results: []Entry{entry("wbfs", 1, 900)}}, "no fused grid-family entries"},
+		{"missing counterpart", &Report{Results: []Entry{entry("wbfs-fused", 1, 120)}}, "no unfused wbfs entry"},
+		{"not fewer", &Report{Results: []Entry{
+			entry("delta-stepping", 1, 40), entry("delta-stepping-fused", 1, 40)}}, "not fewer"},
+		{"wbfs below 3x", &Report{Results: []Entry{
+			entry("wbfs", 1, 200), entry("wbfs-fused", 1, 100)}}, "at least 3x fewer"},
+		{"counter missing", &Report{Results: []Entry{
+			entry("wbfs", 1, 900), {Name: "wbfs-fused", Family: "grid", Procs: 1}}}, "counter missing"},
+	} {
+		err := CheckFusionAblation(tc.rep)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want one containing %q", tc.name, err, tc.want)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"julienne/internal/algo/kcore"
@@ -156,6 +159,26 @@ func Algos(cfg Config) *Report {
 							return sssp.DeltaStepping(hg, 0, benchDelta, sssp.Options{Recorder: rec}).Rounds
 						}),
 				)
+				if in.family == "grid" {
+					// Fusion ablation on the road-like family (DESIGN.md
+					// §11): same inputs and knobs as the unfused wbfs /
+					// delta-stepping entries above, plus maximal bucket
+					// fusion. Compare bucket.buckets_returned across the
+					// pairs — fusion's claim is fewer synchronization
+					// rounds at (near-)identical relaxation counts, not a
+					// different traversal.
+					fus := bucket.MaximalFusion()
+					rep.Results = append(rep.Results,
+						measure(Entry{Name: "wbfs-fused", Family: in.family, Procs: p, N: n, M: gm}, cfg,
+							func(rec *obs.Recorder) int64 {
+								return sssp.WBFS(wg, 0, sssp.Options{Recorder: rec, Fusion: fus}).Rounds
+							}),
+						measure(Entry{Name: "delta-stepping-fused", Family: in.family, Procs: p, N: n, M: gm}, cfg,
+							func(rec *obs.Recorder) int64 {
+								return sssp.DeltaStepping(hg, 0, benchDelta, sssp.Options{Recorder: rec, Fusion: fus}).Rounds
+							}),
+					)
+				}
 			}
 			rep.Results = append(rep.Results,
 				measure(Entry{Name: "setcover", Family: "setcover-synth", Procs: p,
@@ -172,6 +195,53 @@ func Algos(cfg Config) *Report {
 		})
 	}
 	return rep
+}
+
+// CheckFusionAblation verifies the fusion ablation's claim inside an
+// algos report: every fused grid-family entry must have extracted
+// strictly fewer bucket rounds than its unfused counterpart at the
+// same procs point, and the wbfs pair — the road-like configuration
+// fusion exists for — must show at least 3x fewer. Rounds are read
+// from the obs bucket.buckets_returned counter of the instrumented
+// run, never from wall time, so the gate is immune to CI machine
+// noise. cmd/bench -assert-fusion runs this after writing the report.
+func CheckFusionAblation(rep *Report) error {
+	type key struct {
+		name  string
+		procs int
+	}
+	returned := map[key]int64{}
+	for _, e := range rep.Results {
+		if e.Family != "grid" {
+			continue
+		}
+		returned[key{e.Name, e.Procs}] = e.Counters[obs.CtrBucketReturned]
+	}
+	checked := 0
+	for k, fused := range returned {
+		base, ok := strings.CutSuffix(k.name, "-fused")
+		if !ok {
+			continue
+		}
+		unfused, ok := returned[key{base, k.procs}]
+		if !ok {
+			return fmt.Errorf("fusion ablation: %s (procs=%d) has no unfused %s entry to compare against", k.name, k.procs, base)
+		}
+		if fused <= 0 || unfused <= 0 {
+			return fmt.Errorf("fusion ablation: %s vs %s (procs=%d): bucket.buckets_returned %d vs %d — counter missing from the instrumented run", k.name, base, k.procs, fused, unfused)
+		}
+		if fused >= unfused {
+			return fmt.Errorf("fusion ablation: %s extracted %d bucket rounds at procs=%d, not fewer than unfused %s's %d", k.name, fused, k.procs, base, unfused)
+		}
+		if base == "wbfs" && 3*fused > unfused {
+			return fmt.Errorf("fusion ablation: wbfs-fused extracted %d bucket rounds at procs=%d vs unfused %d; want at least 3x fewer on the road-like family", fused, k.procs, unfused)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return errors.New("fusion ablation: report contains no fused grid-family entries")
+	}
+	return nil
 }
 
 // goBenchBucket re-measures the bucket benchmarks of the pre-arena

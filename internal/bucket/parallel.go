@@ -43,8 +43,11 @@ type Options struct {
 // optimizations). It maintains nB open buckets covering the logical id
 // range [rangeLo, rangeLo+nB) (Increasing) or (rangeHi-nB, rangeHi]
 // (Decreasing), plus one overflow bucket for identifiers logically
-// beyond the open range. Dest values encode a physical slot: open slot
-// index in [0, nB), the overflow slot nB, or None.
+// beyond the open range and one lazy bucket that receives identifiers
+// landing inside the active fused span (DESIGN.md §11). Dest values
+// encode a physical slot: open slot index in [0, nB), the overflow
+// slot nB, the lazy slot nB+1 (only while a fused span is active), or
+// None.
 type Par struct {
 	n       int
 	d       func(uint32) ID
@@ -52,13 +55,23 @@ type Par struct {
 	nB      int
 	useSemi bool
 
-	bkts    []chunkedBucket // nB open slots + 1 overflow slot
+	bkts    []chunkedBucket // nB open slots + overflow slot + lazy slot
 	cur     int             // current open slot being processed
 	rangeLo ID              // lowest logical id in the open range
 	rangeHi ID              // highest logical id in the open range
 	done    bool
 	stats   Stats
 	rec     *obs.Recorder
+
+	// span is the active fused span set by NextBucketFused and cleared
+	// by the next extraction call: while active, GetBucket routes
+	// destinations inside [span.lo, span.hi] to the lazy slot, and
+	// DrainLazy hands them back to the caller within the same round.
+	span fusedSpan
+	// lazyPred is the compaction predicate for DrainLazy (live iff D
+	// still falls inside the active span), cached like livePred so the
+	// per-drain filter does not allocate a closure.
+	lazyPred func(uint32) bool
 
 	// scr is the scratch arena reused across rounds; see the arena type
 	// for the ownership rules.
@@ -146,7 +159,24 @@ type updState struct {
 	skipped int64
 }
 
-var _ Structure = (*Par)(nil)
+// fusedSpan is the logical id interval [lo, hi] covered by the most
+// recent NextBucketFused call, normalized so lo <= hi regardless of
+// traversal order. The zero value (inactive) contains nothing.
+type fusedSpan struct {
+	lo, hi ID
+	active bool
+}
+
+// contains reports whether a logical bucket id falls inside the active
+// span. Nil is never contained: hi is at most rangeHi < Nil.
+func (s fusedSpan) contains(id ID) bool {
+	return s.active && id >= s.lo && id <= s.hi
+}
+
+var (
+	_ Structure = (*Par)(nil)
+	_ Fused     = (*Par)(nil)
+)
 
 // New creates the parallel structure over identifiers [0, n) with
 // initial buckets given by d (Nil means "not bucketed"), traversed in
@@ -159,19 +189,22 @@ func New(n int, d func(uint32) ID, order Order, opt Options) *Par {
 		nB = DefaultOpenBuckets
 	}
 	b := &Par{n: n, d: d, order: order, nB: nB, useSemi: opt.Semisort}
-	b.bkts = make([]chunkedBucket, nB+1)
+	b.bkts = make([]chunkedBucket, nB+2)
 	// Seed every slot's chunk list with capacity carved from one shared
 	// backing array: the first insert into a virgin slot would otherwise
 	// allocate a header array, costing one allocation per round in
 	// forward-marching peels. Slots holding more than slotChunkCap
 	// chunks fall back to ordinary (amortized) append growth.
-	hdrs := make([][]uint32, (nB+1)*slotChunkCap)
+	hdrs := make([][]uint32, (nB+2)*slotChunkCap)
 	for i := range b.bkts {
 		b.bkts[i].chunks = hdrs[i*slotChunkCap : i*slotChunkCap : (i+1)*slotChunkCap]
 	}
 	// Built once so the per-round compaction filter does not allocate a
 	// closure; NextBucket points liveCur at the slot being compacted.
 	b.livePred = func(id uint32) bool { return b.d(id) == b.liveCur }
+	// Likewise for the DrainLazy filter: an identifier in the lazy slot
+	// is live while its bucket still falls inside the active span.
+	b.lazyPred = func(id uint32) bool { return b.span.contains(b.d(id)) }
 	// The histogram-update passes, likewise built once (see the Par
 	// fields for why). Each reads its parameters from b.upd.
 	b.zeroPass = func(i int) { b.upd.counts[i] = 0 }
@@ -340,7 +373,19 @@ func (b *Par) beyond(id ID) bool {
 // bucket to a new bucket if its new bucket is in the current range, or
 // if it is not yet in any bucket").
 func (b *Par) GetBucket(prev, next ID) Dest {
-	if next == Nil || next == prev || b.done {
+	if next == Nil || b.done {
+		return None
+	}
+	// Lazy insertion (DESIGN.md §11): destinations inside the active
+	// fused span route to the lazy slot so the caller can process them
+	// in the same round via DrainLazy instead of round-tripping through
+	// bucket storage. This check precedes the next == prev fast path
+	// deliberately — a fused frontier's physical copies were consumed by
+	// extraction, so even a same-bucket reinsertion needs a lazy copy.
+	if b.span.contains(next) {
+		return Dest(b.nB + 1)
+	}
+	if next == prev {
 		return None
 	}
 	if b.inRange(next) {
@@ -387,34 +432,222 @@ func (b *Par) NextBucket() (ID, []uint32) {
 	if chaos.Enabled {
 		chaos.Point(chaos.SiteRound)
 	}
+	b.closeSpan()
 	b.debugCheckStructure()
+	b.scr.live = b.scr.live[:0]
+	cur, ok := b.nextCompacted()
+	if !ok {
+		return Nil, nil
+	}
+	live := b.scr.live
+	atomic.AddInt64(&b.stats.Extracted, int64(len(live)))
+	atomic.AddInt64(&b.stats.BucketsReturned, 1)
+	b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
+	b.rec.Inc(obs.CtrBucketReturned)
+	b.debugCheckExtract(cur, live)
+	return cur, live
+}
+
+// NextBucketFused implements the Fused interface (see bucket.Fused for
+// the caller contract and DESIGN.md §11 for the safety argument). The
+// fusion rule is deterministic and deliberately identical between Par
+// and Seq so the differential suite can compare them in lockstep: the
+// first non-empty bucket is always included whole; each subsequent
+// non-empty bucket joins the run iff the combined compacted frontier
+// stays within maxFrontier identifiers and the covered logical span
+// stays within maxSpan bucket ids. A rejected bucket is written back
+// to storage as a single compacted chunk, and the traversal resumes
+// just after the last fused bucket, so the next extraction revisits
+// everything behind the rejection point that this round refills.
+//
+// Only the first bucket of a run may trigger a range advance; the run
+// itself never crosses the open-range boundary (see Fused).
+func (b *Par) NextBucketFused(maxFrontier, maxSpan int) (ID, ID, []uint32) {
+	if b.done {
+		return Nil, Nil, nil
+	}
+	start := b.rec.Clock()
+	defer b.rec.ObserveSince(obs.HistNextBucketNs, start)
+	if chaos.Enabled {
+		chaos.Point(chaos.SiteRound)
+	}
+	b.closeSpan()
+	b.debugCheckStructure()
+	if maxFrontier < 1 {
+		maxFrontier = 1
+	}
+	b.scr.live = b.scr.live[:0]
+	first, ok := b.nextCompacted()
+	if !ok {
+		return Nil, Nil, nil
+	}
+	last := first
+	run := 1
+	// Invariant entering each iteration: len(scr.live) <= maxFrontier.
+	// A non-empty candidate adds at least one identifier, so once the
+	// frontier is full no candidate can be accepted — stop probing.
+	// Probing is restricted to the open range: crossing into the
+	// overflow bucket would redistribute it before this round's
+	// insertions exist, stranding updates that land between the run and
+	// the new range (and, on an empty overflow, marking a structure done
+	// that is about to receive insertions).
+	for len(b.scr.live) < maxFrontier {
+		base := len(b.scr.live)
+		id, ok := b.nextCompactedInRange()
+		if !ok {
+			break
+		}
+		if len(b.scr.live) > maxFrontier || (maxSpan >= 1 && b.spanWidth(first, id) > maxSpan) {
+			b.unconsume(id, base)
+			break
+		}
+		last = id
+		run++
+	}
+	// The walk passed over empty buckets (probed slots, or the stretch
+	// up to a rejected candidate) that this round's relaxations may yet
+	// land in. Rewind the cursor to just after the last fused bucket so
+	// those insertions stay ahead of the traversal instead of being
+	// dropped as behind it.
+	b.cur = b.slotFor(last) + 1
+	live := b.scr.live
+	atomic.AddInt64(&b.stats.Extracted, int64(len(live)))
+	atomic.AddInt64(&b.stats.BucketsReturned, 1)
+	b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
+	b.rec.Inc(obs.CtrBucketReturned)
+	b.rec.Add(obs.CtrBucketRoundsSaved, int64(run-1))
+	b.rec.Observe(obs.HistFusedRunLen, int64(run))
+	if b.order == Increasing {
+		b.span = fusedSpan{lo: first, hi: last, active: true}
+	} else {
+		b.span = fusedSpan{lo: last, hi: first, active: true}
+	}
+	b.debugCheckFused(first, last, live)
+	return first, last, live
+}
+
+// DrainLazy implements the Fused interface: it compacts the lazy slot
+// — identifiers GetBucket routed into the active fused span since the
+// last extraction or drain — into the arena and empties it. Stale
+// copies (identifiers whose D moved on after insertion) are dropped by
+// the same liveness rule NextBucket compaction applies.
+func (b *Par) DrainLazy() []uint32 {
+	if !b.span.active {
+		return nil
+	}
+	lz := &b.bkts[b.nB+1]
+	if lz.n == 0 {
+		return nil
+	}
+	live := b.scr.live[:0]
+	for _, c := range lz.chunks {
+		live = parallel.FilterAppend(live, c, b.lazyPred)
+		b.freePut(c)
+	}
+	b.scr.live = live
+	b.resetSlot(lz)
+	if len(live) == 0 {
+		return nil
+	}
+	atomic.AddInt64(&b.stats.Extracted, int64(len(live)))
+	b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
+	b.rec.Add(obs.CtrBucketLazyDrained, int64(len(live)))
+	b.debugCheckLazyDrain(live)
+	return live
+}
+
+// closeSpan deactivates the fused span at the next extraction call.
+// Identifiers still pending in the lazy slot at that point were never
+// handed back by DrainLazy and are dropped — a conforming caller
+// drains the span until empty before extracting again, so this is a
+// caller bug and a julienne_debug build panics; a release build
+// recycles the chunks and moves on (the traversal has passed the span,
+// so the copies are as dead as identifiers moved to Nil).
+func (b *Par) closeSpan() {
+	if !b.span.active {
+		return
+	}
+	lz := &b.bkts[b.nB+1]
+	b.debugCheckSpanClosed(lz.n)
+	if lz.n > 0 {
+		for _, c := range lz.chunks {
+			b.freePut(c)
+		}
+		b.resetSlot(lz)
+	}
+	b.span = fusedSpan{}
+}
+
+// spanWidth is the number of logical bucket ids a fused run from
+// `first` through `id` covers, inclusive, in traversal order.
+func (b *Par) spanWidth(first, id ID) int {
+	if b.order == Increasing {
+		return int(id-first) + 1
+	}
+	return int(first-id) + 1
+}
+
+// unconsume returns a bucket the fusion walk compacted but rejected
+// (accepting it would overflow maxFrontier or maxSpan) to storage as a
+// single compacted chunk and rewinds the traversal cursor to it. base
+// is the scr.live offset where the rejected bucket's identifiers
+// start.
+func (b *Par) unconsume(id ID, base int) {
+	live := b.scr.live[base:]
+	c := b.chunkAlloc(len(live))
+	copy(c, live)
+	bk := &b.bkts[b.slotFor(id)]
+	bk.chunks = append(bk.chunks, c)
+	bk.n += len(c)
+	b.cur = b.slotFor(id)
+	b.scr.live = b.scr.live[:base]
+}
+
+// nextCompactedInRange advances the traversal to the next non-empty
+// bucket of the current open range, compacts its live identifiers onto
+// the end of b.scr.live (recycling the spent chunks through the free
+// list), and returns its logical id. It never touches the overflow
+// bucket or the done flag: (Nil, false) only means the open range is
+// exhausted. The fusion walk uses it for every bucket after the first,
+// so fused runs deliberately end at the range boundary (see
+// NextBucketFused).
+func (b *Par) nextCompactedInRange() (ID, bool) {
+	for b.cur <= b.nB-1 {
+		slot := b.cur
+		bk := &b.bkts[slot]
+		if bk.n == 0 {
+			b.cur++
+			continue
+		}
+		cur := b.logical(slot)
+		b.liveCur = cur
+		base := len(b.scr.live)
+		live := b.scr.live
+		for _, c := range bk.chunks {
+			live = parallel.FilterAppend(live, c, b.livePred)
+			b.freePut(c)
+		}
+		b.scr.live = live
+		b.resetSlot(bk)
+		if len(live) == base {
+			b.cur++
+			continue
+		}
+		return cur, true
+	}
+	return Nil, false
+}
+
+// nextCompacted is nextCompactedInRange extended with §3.3's range
+// advance: when the open range is exhausted it redistributes the
+// overflow bucket and keeps walking; (Nil, false) means the structure
+// is exhausted and done is set. Extraction stats and debug bookkeeping
+// are left to the caller, which may be fusing several buckets into one
+// frontier.
+func (b *Par) nextCompacted() (ID, bool) {
 	for {
-		for b.cur <= b.nB-1 {
-			slot := b.cur
-			bk := &b.bkts[slot]
-			if bk.n == 0 {
-				b.cur++
-				continue
-			}
-			cur := b.logical(slot)
-			b.liveCur = cur
-			live := b.scr.live[:0]
-			for _, c := range bk.chunks {
-				live = parallel.FilterAppend(live, c, b.livePred)
-				b.freePut(c)
-			}
-			b.scr.live = live
-			b.resetSlot(bk)
-			if len(live) == 0 {
-				b.cur++
-				continue
-			}
-			atomic.AddInt64(&b.stats.Extracted, int64(len(live)))
-			atomic.AddInt64(&b.stats.BucketsReturned, 1)
-			b.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
-			b.rec.Inc(obs.CtrBucketReturned)
-			b.debugCheckExtract(cur, live)
-			return cur, live
+		if cur, ok := b.nextCompactedInRange(); ok {
+			return cur, true
 		}
 		// Open range exhausted: redistribute overflow, if any. The
 		// chunks are flattened (through the free list) so the anchor
@@ -422,7 +655,7 @@ func (b *Par) NextBucket() (ID, []uint32) {
 		obk := &b.bkts[b.nB]
 		if obk.n == 0 {
 			b.done = true
-			return Nil, nil
+			return Nil, false
 		}
 		over := b.chunkAlloc(obk.n)
 		off := 0
@@ -474,7 +707,7 @@ func (b *Par) NextBucket() (ID, []uint32) {
 		}
 		if anchor == Nil {
 			b.done = true
-			return Nil, nil
+			return Nil, false
 		}
 		prevLo, prevHi := b.rangeLo, b.rangeHi
 		b.setRange(anchor)
@@ -525,7 +758,10 @@ func (b *Par) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 		b.updateSemisort(k, f)
 		return
 	}
-	nSlots := b.nB + 1
+	// nB open slots, the overflow slot, and the lazy slot (which only
+	// receives identifiers while a fused span is active, but is always
+	// accounted for so the pass layout does not depend on span state).
+	nSlots := b.nB + 2
 	nb := (k + updateBlock - 1) / updateBlock
 	need := nSlots * nb
 	if cap(b.scr.counts) < need {

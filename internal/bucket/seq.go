@@ -23,12 +23,27 @@ type Seq struct {
 	stats Stats
 	rec   *obs.Recorder
 
+	// span mirrors Par's fused span: while active, UpdateBuckets
+	// routes destinations inside it to the lazy buffer instead of
+	// bucket storage (Seq's Dest is the bucket id itself, so no
+	// dedicated lazy Dest value is needed — membership is checked at
+	// insertion time).
+	span fusedSpan
+	// lazy receives in-span insertions; lazyOut is the separate drain
+	// buffer handed to callers, so insertions during the caller's round
+	// cannot stomp the slice DrainLazy returned.
+	lazy    []uint32
+	lazyOut []uint32
+
 	// dbg holds invariant-assertion state; zero-sized unless the build
 	// is tagged julienne_debug (see debug_on.go / debug_off.go).
 	dbg debugState
 }
 
-var _ Structure = (*Seq)(nil)
+var (
+	_ Structure = (*Seq)(nil)
+	_ Fused     = (*Seq)(nil)
+)
 
 // NewSeq creates the sequential structure over identifiers [0, n) with
 // initial buckets given by d (Nil means "not bucketed") traversed in
@@ -68,30 +83,18 @@ func NewSeq(n int, d func(uint32) ID, order Order) *Seq {
 
 // NextBucket implements Structure.
 func (s *Seq) NextBucket() (ID, []uint32) {
+	s.closeSpan()
 	step := int64(1)
 	if s.order == Decreasing {
 		step = -1
 	}
 	for s.cur >= 0 && s.cur < int64(len(s.bkts)) {
-		b := s.bkts[s.cur]
-		if len(b) == 0 {
+		live, ok := s.compact()
+		if !ok {
 			s.cur += step
 			continue
-		}
-		// Compact: keep live identifiers (D(i) == cur), drop stale
-		// copies left behind by lazy moves.
-		live := b[:0]
-		for _, id := range b {
-			if s.d(id) == ID(s.cur) {
-				live = append(live, id)
-			}
 		}
 		cur := ID(s.cur)
-		s.bkts[s.cur] = nil
-		if len(live) == 0 {
-			s.cur += step
-			continue
-		}
 		atomic.AddInt64(&s.stats.Extracted, int64(len(live)))
 		atomic.AddInt64(&s.stats.BucketsReturned, 1)
 		s.rec.Add(obs.CtrBucketExtracted, int64(len(live)))
@@ -102,11 +105,151 @@ func (s *Seq) NextBucket() (ID, []uint32) {
 	return Nil, nil
 }
 
+// compact drops stale copies (D(i) != cur) from the current bucket in
+// place and empties it, returning the live identifiers; ok is false if
+// none were live.
+func (s *Seq) compact() ([]uint32, bool) {
+	b := s.bkts[s.cur]
+	if len(b) == 0 {
+		return nil, false
+	}
+	live := b[:0]
+	for _, id := range b {
+		if s.d(id) == ID(s.cur) {
+			live = append(live, id)
+		}
+	}
+	s.bkts[s.cur] = nil
+	if len(live) == 0 {
+		return nil, false
+	}
+	return live, true
+}
+
+// NextBucketFused implements the Fused interface with the exact fusion
+// rule Par uses (the differential suite compares the two in lockstep):
+// the first non-empty bucket is always included whole; each subsequent
+// non-empty bucket joins the run iff the combined frontier stays
+// within maxFrontier and the covered span stays within maxSpan. A
+// rejected bucket's compacted survivors are written back and revisited
+// by the next extraction.
+func (s *Seq) NextBucketFused(maxFrontier, maxSpan int) (ID, ID, []uint32) {
+	s.closeSpan()
+	if maxFrontier < 1 {
+		maxFrontier = 1
+	}
+	step := int64(1)
+	if s.order == Decreasing {
+		step = -1
+	}
+	first, last := Nil, Nil
+	run := 0
+	var out []uint32
+	for s.cur >= 0 && s.cur < int64(len(s.bkts)) {
+		live, ok := s.compact()
+		if !ok {
+			s.cur += step
+			continue
+		}
+		if first == Nil {
+			first, last = ID(s.cur), ID(s.cur)
+			run = 1
+			out = append(out, live...)
+			s.cur += step
+			continue
+		}
+		width := int(s.cur-int64(first)) + 1
+		if s.order == Decreasing {
+			width = int(int64(first)-s.cur) + 1
+		}
+		if len(out)+len(live) > maxFrontier || (maxSpan >= 1 && width > maxSpan) {
+			// Rejected: put the compacted survivors back for the next
+			// extraction, which starts here.
+			s.bkts[s.cur] = live
+			break
+		}
+		last = ID(s.cur)
+		run++
+		out = append(out, live...)
+		s.cur += step
+	}
+	if first == Nil {
+		return Nil, Nil, nil
+	}
+	// The walk passed over empty buckets (probed, or the stretch up to
+	// a rejected candidate) that this round's insertions may yet land
+	// in. Rewind the cursor to just after the last fused bucket so they
+	// stay ahead of the traversal instead of being dropped as behind it.
+	s.cur = int64(last) + step
+	atomic.AddInt64(&s.stats.Extracted, int64(len(out)))
+	atomic.AddInt64(&s.stats.BucketsReturned, 1)
+	s.rec.Add(obs.CtrBucketExtracted, int64(len(out)))
+	s.rec.Inc(obs.CtrBucketReturned)
+	s.rec.Add(obs.CtrBucketRoundsSaved, int64(run-1))
+	s.rec.Observe(obs.HistFusedRunLen, int64(run))
+	if s.order == Increasing {
+		s.span = fusedSpan{lo: first, hi: last, active: true}
+	} else {
+		s.span = fusedSpan{lo: last, hi: first, active: true}
+	}
+	s.debugCheckFused(first, last, out)
+	return first, last, out
+}
+
+// DrainLazy implements the Fused interface: it returns the live
+// identifiers lazily inserted into the active span and empties the
+// lazy buffer. The returned slice is valid until the next DrainLazy
+// call.
+func (s *Seq) DrainLazy() []uint32 {
+	if !s.span.active || len(s.lazy) == 0 {
+		return nil
+	}
+	out := s.lazyOut[:0]
+	for _, id := range s.lazy {
+		if s.span.contains(s.d(id)) {
+			out = append(out, id)
+		}
+	}
+	s.lazyOut = out
+	s.lazy = s.lazy[:0]
+	if len(out) == 0 {
+		return nil
+	}
+	atomic.AddInt64(&s.stats.Extracted, int64(len(out)))
+	s.rec.Add(obs.CtrBucketExtracted, int64(len(out)))
+	s.rec.Add(obs.CtrBucketLazyDrained, int64(len(out)))
+	s.debugCheckLazyDrain(out)
+	return out
+}
+
+// closeSpan mirrors Par.closeSpan: pending lazy identifiers at the
+// next extraction are a caller bug (julienne_debug panics) and are
+// dropped in release builds.
+func (s *Seq) closeSpan() {
+	if !s.span.active {
+		return
+	}
+	s.debugCheckSpanClosed(len(s.lazy))
+	s.lazy = s.lazy[:0]
+	s.span = fusedSpan{}
+}
+
 // GetBucket implements Structure. For the exact representation the
 // destination is the target bucket id itself; None filters the cases
 // no physical move is needed.
 func (s *Seq) GetBucket(prev, next ID) Dest {
-	if next == Nil || next == prev {
+	if next == Nil {
+		return None
+	}
+	// Destinations inside the active fused span stay physical updates
+	// even when next == prev or next is behind the traversal cursor:
+	// the span's storage was consumed by the fused extraction, so the
+	// identifier needs a fresh (lazy) copy to be processed this round.
+	// UpdateBuckets routes in-span destinations to the lazy buffer.
+	if s.span.contains(next) {
+		return Dest(next)
+	}
+	if next == prev {
 		return None
 	}
 	if s.order == Increasing {
@@ -130,6 +273,14 @@ func (s *Seq) UpdateBuckets(k int, f func(j int) (uint32, Dest)) {
 		id, dest := f(j)
 		if dest == None {
 			skipped++
+			continue
+		}
+		// Lazy insertion: while a fused span is active, destinations
+		// inside it bypass bucket storage (which the fused extraction
+		// already consumed) and queue for DrainLazy instead.
+		if s.span.contains(ID(dest)) {
+			s.lazy = append(s.lazy, id)
+			moved++
 			continue
 		}
 		b := int(dest)

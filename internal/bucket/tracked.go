@@ -35,6 +35,17 @@ func NewTracked(n int, d func(uint32) ID, order Order, opt Options) *Tracked {
 // NextBucket forwards to the wrapped structure.
 func (t *Tracked) NextBucket() (ID, []uint32) { return t.par.NextBucket() }
 
+// NextBucketFused forwards to the wrapped structure; the internal map
+// needs no adjustment because fused extraction, like NextBucket, only
+// consumes stored copies (lazy insertions flow through
+// UpdateBucketsTo like any other update).
+func (t *Tracked) NextBucketFused(maxFrontier, maxSpan int) (ID, ID, []uint32) {
+	return t.par.NextBucketFused(maxFrontier, maxSpan)
+}
+
+// DrainLazy forwards to the wrapped structure.
+func (t *Tracked) DrainLazy() []uint32 { return t.par.DrainLazy() }
+
 // Stats forwards to the wrapped structure.
 func (t *Tracked) Stats() Stats { return t.par.Stats() }
 

@@ -28,6 +28,7 @@ import (
 
 	"julienne/internal/algo/kcore"
 	"julienne/internal/algo/sssp"
+	"julienne/internal/bucket"
 	"julienne/internal/chaos"
 	"julienne/internal/gen"
 	"julienne/internal/graph"
@@ -211,6 +212,62 @@ func TestDelayAtRoundTripsDeadline(t *testing.T) {
 			t.Fatalf("dist[%d] = %d, want %d", v, clean.Dist[v], want.Dist[v])
 		}
 	}
+}
+
+// TestForcedCancellationMidFusedRound forces a cancellation at a fused
+// round boundary of a bucket-fusion wBFS run on a weighted grid (the
+// large-diameter family fusion exists for) and asserts the failure
+// contract holds with the fused machinery engaged: typed error with
+// partial progress, balanced scratch pool, no goroutine leaks, and
+// immediate fused and unfused re-runs that are oracle-correct — no
+// active span, undrained lazy buffer, or leaked scratch slab survives
+// the cancellation.
+func TestForcedCancellationMidFusedRound(t *testing.T) {
+	defer harness.LeakCheck(t)()
+	rows, cols := 40, 50
+	if testing.Short() {
+		rows, cols = 20, 30
+	}
+	g := gen.UniformWeights(gen.Grid2D(rows, cols), 1, 16, 7)
+	want := sssp.DijkstraHeap(g, 0)
+	fused := sssp.Options{Fusion: bucket.Fusion{MaxFrontier: 64}}
+	full := sssp.WBFS(g, 0, fused)
+	if full.Err != nil || full.Rounds < 3 {
+		t.Fatalf("fused wBFS baseline: err=%v rounds=%d; need a clean run of >= 3 rounds",
+			full.Err, full.Rounds)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := flightDumpRecorder(t)
+	opt := fused
+	opt.Ctx = ctx
+	opt.Recorder = rec
+	chaos.Arm(chaos.Plan{CancelAtRound: 2, Cancel: cancel})
+	res := sssp.WBFS(g, 0, opt)
+	chaos.Disarm()
+	if res.Err == nil {
+		t.Fatal("canceled fused run returned nil Err")
+	}
+	var c *obs.Canceled
+	if !errors.As(res.Err, &c) || !errors.Is(res.Err, obs.ErrCanceled) {
+		t.Fatalf("Err = %v (%T), want *obs.Canceled wrapping ErrCanceled", res.Err, res.Err)
+	}
+	if c.Rounds < 1 || c.Rounds >= full.Rounds {
+		t.Errorf("Canceled.Rounds = %d, want partial progress in [1, %d)", c.Rounds, full.Rounds)
+	}
+	checkInvariants(t)
+	for _, o := range []sssp.Options{fused, {}} {
+		clean := sssp.WBFS(g, 0, o)
+		if clean.Err != nil {
+			t.Fatalf("clean re-run errored: %v", clean.Err)
+		}
+		for v := range clean.Dist {
+			if clean.Dist[v] != want.Dist[v] {
+				t.Fatalf("dist[%d] = %d, want %d", v, clean.Dist[v], want.Dist[v])
+			}
+		}
+	}
+	checkInvariants(t)
 }
 
 // TestSeededSweep is the randomized proptest family: each seed derives

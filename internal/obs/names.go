@@ -23,6 +23,10 @@ const (
 	// HistOpLatencyNs is whole-operation latency in nanoseconds; the
 	// CLIs observe one sample per measured run.
 	HistOpLatencyNs = "op.latency_ns"
+	// HistFusedRunLen is the number of buckets each NextBucketFused
+	// call drained into one frontier (1 = no fusion happened that
+	// round; the rounds-saved counter accumulates the sum of len-1).
+	HistFusedRunLen = "bucket.fused_run_len"
 )
 
 // WellKnownNames returns the registry of every counter, gauge, and
@@ -38,6 +42,8 @@ func WellKnownNames() map[string]bool {
 		CtrBucketSkipped:       true,
 		CtrBucketReturned:      true,
 		CtrBucketRangeAdvances: true,
+		CtrBucketRoundsSaved:   true,
+		CtrBucketLazyDrained:   true,
 		CtrEdgeMapSparse:       true,
 		CtrEdgeMapDense:        true,
 		CtrEdgeMapEdges:        true,
@@ -50,5 +56,6 @@ func WellKnownNames() map[string]bool {
 		HistUpdateBucketsNs: true,
 		HistEdgeMapEdges:    true,
 		HistOpLatencyNs:     true,
+		HistFusedRunLen:     true,
 	}
 }

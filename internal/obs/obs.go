@@ -36,6 +36,14 @@ const (
 	CtrBucketReturned = "bucket.buckets_returned"
 	// CtrBucketRangeAdvances counts overflow unpacks (§3.3).
 	CtrBucketRangeAdvances = "bucket.range_advances"
+	// CtrBucketRoundsSaved counts synchronization rounds eliminated by
+	// bucket fusion: each NextBucketFused run of r buckets saves r-1
+	// NextBucket rounds (DESIGN.md §11).
+	CtrBucketRoundsSaved = "bucket.rounds_saved"
+	// CtrBucketLazyDrained counts identifiers handed back by DrainLazy
+	// (lazily inserted into an active fused span and processed in the
+	// same round, never round-tripping through bucket storage).
+	CtrBucketLazyDrained = "bucket.lazy_drained"
 	// CtrEdgeMapSparse counts edgeMap invocations that took the
 	// sparse/push direction.
 	CtrEdgeMapSparse = "edgemap.sparse"
