@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race debug chaos fuzz bench bench-smoke bench-go obs-demo check
+.PHONY: all build test vet fmt lint race debug chaos fuzz bench bench-smoke bench-go obs-demo serve-smoke check
 
 all: check
 
@@ -93,10 +93,18 @@ bench-smoke:
 obs-demo:
 	sh scripts/obs-demo.sh
 
+# serve-smoke smoke-tests the analytics service end to end: boot
+# cmd/served (built -race) on an ephemeral port, drive it with
+# cmd/servedload (queries + async jobs), scrape /metrics for the serve
+# counters, SIGTERM, and assert a clean drain. Needs curl. DESIGN.md
+# §12 documents the serving architecture.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # bench-go runs the raw go-test benchmarks once each (quick signal
 # while iterating; use `make bench` for the reproducible reports).
 bench-go:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-check: build test lint fmt race debug chaos
+check: build test lint fmt race debug chaos serve-smoke
 	@echo "check: ok"

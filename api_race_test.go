@@ -1,0 +1,100 @@
+package julienne
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSharedGraphQueries pins the shared-read-path contract
+// the serving layer (internal/serve) depends on: many goroutines may
+// run point queries against ONE *CSR and ONE *Recorder concurrently —
+// with metrics/flight scrapes interleaved — and every query must
+// return exactly the single-threaded answer. Run under -race via
+// `make race`; lazy CSR state (in-edge construction) and all Recorder
+// paths are exercised across the concurrent callers.
+func TestConcurrentSharedGraphQueries(t *testing.T) {
+	g := UniformWeights(Grid2D(24, 24), 1, 8, 7)
+	rec := NewRecorder()
+
+	srcs := []Vertex{0, 17, 255, 575}
+	wantDelta := make(map[Vertex][]int64, len(srcs))
+	wantWBFS := make(map[Vertex][]int64, len(srcs))
+	for _, s := range srcs {
+		wantDelta[s] = DeltaStepping(g, s, 4)
+		wantWBFS[s] = WBFS(g, s)
+	}
+	wantCore := KCore(g)
+
+	sameInt64 := func(t *testing.T, what string, got, want []int64) {
+		t.Helper()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: diverged at vertex %d: got %d want %d", what, i, got[i], want[i])
+				return
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = rec.WriteMetrics(io.Discard)
+				_ = rec.WriteDebugJSON(io.Discard)
+				_ = rec.FlightTail(32)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		for _, s := range srcs {
+			wg.Add(2)
+			go func(s Vertex) {
+				defer wg.Done()
+				res := DeltaSteppingWithOptions(g, s, 4, SSSPOptions{Recorder: rec})
+				if res.Err != nil {
+					t.Errorf("delta-stepping from %d: %v", s, res.Err)
+					return
+				}
+				sameInt64(t, "delta-stepping", res.Dist, wantDelta[s])
+			}(s)
+			go func(s Vertex) {
+				defer wg.Done()
+				res := WBFSWithOptions(g, s, SSSPOptions{Recorder: rec})
+				if res.Err != nil {
+					t.Errorf("wbfs from %d: %v", s, res.Err)
+					return
+				}
+				sameInt64(t, "wbfs", res.Dist, wantWBFS[s])
+			}(s)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := KCoreWithOptions(g, KCoreOptions{Recorder: rec})
+			if res.Err != nil {
+				t.Errorf("kcore: %v", res.Err)
+				return
+			}
+			for i := range wantCore {
+				if res.Coreness[i] != wantCore[i] {
+					t.Errorf("kcore: diverged at vertex %d: got %d want %d",
+						i, res.Coreness[i], wantCore[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+}

@@ -37,6 +37,7 @@ func WriteEdgeList(w io.Writer, g *graph.CSR) error {
 // graph.FromEdges; opt.Weighted is inferred from the first data line
 // when left false but a third column exists.
 func ReadEdgeList(r io.Reader, opt graph.BuildOptions) (*graph.CSR, error) {
+	const format = "edgelist"
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []graph.Edge
@@ -51,25 +52,31 @@ func ReadEdgeList(r io.Reader, opt graph.BuildOptions) (*graph.CSR, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("graphio: line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
+			return nil, corrupt(format, "line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			return nil, &ParseError{Format: format,
+				Detail: fmt.Sprintf("line %d: bad source id %q", lineNo, fields[0]), Kind: ErrCorrupt, Cause: err}
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			return nil, &ParseError{Format: format,
+				Detail: fmt.Sprintf("line %d: bad target id %q", lineNo, fields[1]), Kind: ErrCorrupt, Cause: err}
 		}
 		if u < 0 || v < 0 || u > 1<<31 || v > 1<<31 {
-			return nil, fmt.Errorf("graphio: line %d: vertex id out of range", lineNo)
+			return nil, corrupt(format, "line %d: vertex id out of range", lineNo)
 		}
 		var wt int64
 		if len(fields) == 3 {
 			sawWeight = true
 			wt, err = strconv.ParseInt(fields[2], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+				return nil, &ParseError{Format: format,
+					Detail: fmt.Sprintf("line %d: bad weight %q", lineNo, fields[2]), Kind: ErrCorrupt, Cause: err}
+			}
+			if wt < 0 {
+				return nil, corrupt(format, "line %d: negative weight %d", lineNo, wt)
 			}
 		}
 		edges = append(edges, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(v), W: graph.Weight(wt)})
@@ -81,7 +88,7 @@ func ReadEdgeList(r io.Reader, opt graph.BuildOptions) (*graph.CSR, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, ioError(format, "scanning edge list", err)
 	}
 	if sawWeight {
 		opt.Weighted = true

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,9 +11,37 @@ import (
 )
 
 // The fuzz targets assert that arbitrary input either parses into a
-// structurally valid graph or returns an error — never panics, never
-// yields a graph that violates CSR invariants. `go test` runs the seed
-// corpus; `go test -fuzz=FuzzReadText ./internal/graphio` explores.
+// structurally valid graph or returns a *typed* error — never panics,
+// never yields a graph that violates CSR invariants, and never returns
+// an ad-hoc error outside the ParseError/ErrCorrupt/ErrTruncated
+// contract (errors.go). `go test` runs the seed corpus;
+// `go test -fuzz=FuzzReadText ./internal/graphio` explores.
+
+// checkTypedError fails the fuzz iteration when a loader error does
+// not follow the typed contract.
+func checkTypedError(t *testing.T, err error) {
+	t.Helper()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("untyped loader error %v (%T)", err, err)
+	}
+	if errors.Is(err, ErrCorrupt) == errors.Is(err, ErrTruncated) {
+		t.Fatalf("error %v must wrap exactly one of ErrCorrupt/ErrTruncated", err)
+	}
+}
+
+// checkWeights fails when a loader accepted a negative weight (they
+// silently corrupt sssp's unsigned distance arithmetic).
+func checkWeights(t *testing.T, g *graph.CSR) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.OutWeights(graph.Vertex(v)) {
+			if w < 0 {
+				t.Fatalf("negative weight %d accepted", w)
+			}
+		}
+	}
+}
 
 func FuzzReadText(f *testing.F) {
 	f.Add("AdjacencyGraph\n2\n1\n0\n1\n1\n")
@@ -21,12 +50,21 @@ func FuzzReadText(f *testing.F) {
 	f.Add("garbage")
 	f.Add("AdjacencyGraph\n-3\n5\n")
 	f.Add("AdjacencyGraph\n2\n1\n0\n2\n9\n")
+	// Regression seeds: nonzero first offset (panicked in NewCSR),
+	// absurd header sizes (makeslice panic), negative weight (silent
+	// downstream corruption), edges without vertices.
+	f.Add("AdjacencyGraph\n2\n1\n1\n1\n0\n")
+	f.Add("AdjacencyGraph\n9223372036854775807\n0\n")
+	f.Add("AdjacencyGraph\n1\n9223372036854775807\n0\n")
+	f.Add("WeightedAdjacencyGraph\n2\n1\n0\n1\n1\n-5\n")
+	f.Add("AdjacencyGraph\n0\n3\n")
 	var buf bytes.Buffer
 	_ = WriteText(&buf, gen.Grid2D(3, 3))
 	f.Add(buf.String())
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadText(strings.NewReader(in), false)
 		if err != nil {
+			checkTypedError(t, err)
 			return
 		}
 		// Parsed graphs may contain self-loops/dupes (the format allows
@@ -41,6 +79,7 @@ func FuzzReadText(f *testing.F) {
 				}
 			}
 		}
+		checkWeights(t, g)
 	})
 }
 
@@ -50,14 +89,17 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("# comment\n\n3 4\n")
 	f.Add("x y\n")
 	f.Add("1")
+	f.Add("0 1 -7\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadEdgeList(strings.NewReader(in), graph.DefaultBuild)
 		if err != nil {
+			checkTypedError(t, err)
 			return
 		}
 		if err := graph.Validate(g); err != nil {
 			t.Fatalf("invalid graph accepted: %v", err)
 		}
+		checkWeights(t, g)
 	})
 }
 
@@ -67,11 +109,27 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	// Regression seeds: truncated weighted stream, corrupted weight
+	// sign bit, absurd header counts.
+	var wbuf bytes.Buffer
+	_ = WriteBinary(&wbuf, gen.LogWeights(gen.Grid2D(3, 3), 1))
+	wraw := wbuf.Bytes()
+	f.Add(wraw[:len(wraw)/2])
+	neg := append([]byte(nil), wraw...)
+	neg[len(neg)-1] |= 0x80
+	f.Add(neg)
+	huge := append([]byte(nil), wraw[:40]...)
+	for i := 24; i < 40; i++ {
+		huge[i] = 0xff
+	}
+	f.Add(huge)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		// ReadBinary fully validates before constructing the CSR, so
-		// arbitrary bytes must either error or produce a usable graph.
+		// arbitrary bytes must either error (typed) or produce a usable
+		// graph.
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {
+			checkTypedError(t, err)
 			return
 		}
 		for v := 0; v < g.NumVertices(); v++ {
@@ -82,5 +140,6 @@ func FuzzReadBinary(f *testing.F) {
 				return true
 			})
 		}
+		checkWeights(t, g)
 	})
 }

@@ -71,10 +71,15 @@ func WriteText(w io.Writer, g *graph.CSR) error {
 // ReadText parses a Ligra adjacency file. Symmetry is not recorded in
 // the format; pass symmetric=true when the file is known to hold an
 // undirected graph (both edge directions present).
+//
+// Errors are *ParseError values wrapping ErrTruncated or ErrCorrupt
+// (see errors.go). Arrays grow incrementally as tokens arrive, so a
+// lying header cannot force a huge up-front allocation.
 func ReadText(r io.Reader, symmetric bool) (*graph.CSR, error) {
+	const format = "text"
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	next := func() (string, error) {
+	next := func(what string) (string, error) {
 		for sc.Scan() {
 			tok := sc.Text()
 			if len(tok) > 0 {
@@ -82,13 +87,13 @@ func ReadText(r io.Reader, symmetric bool) (*graph.CSR, error) {
 			}
 		}
 		if err := sc.Err(); err != nil {
-			return "", err
+			return "", ioError(format, "reading "+what, err)
 		}
-		return "", io.ErrUnexpectedEOF
+		return "", truncatedf(format, "unexpected end of input reading %s", what)
 	}
-	header, err := next()
+	header, err := next("header")
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading header: %w", err)
+		return nil, err
 	}
 	var weighted bool
 	switch header {
@@ -96,64 +101,79 @@ func ReadText(r io.Reader, symmetric bool) (*graph.CSR, error) {
 	case headerWeighted:
 		weighted = true
 	default:
-		return nil, fmt.Errorf("graphio: unknown header %q", header)
+		return nil, corrupt(format, "unknown header %q", header)
 	}
-	nextInt := func() (int64, error) {
-		tok, err := next()
+	nextInt := func(what string) (int64, error) {
+		tok, err := next(what)
 		if err != nil {
 			return 0, err
 		}
-		return strconv.ParseInt(tok, 10, 64)
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return 0, &ParseError{Format: format,
+				Detail: fmt.Sprintf("bad integer %q for %s", tok, what), Kind: ErrCorrupt, Cause: err}
+		}
+		return v, nil
 	}
-	n64, err := nextInt()
+	n64, err := nextInt("n")
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading n: %w", err)
+		return nil, err
 	}
-	m64, err := nextInt()
+	m64, err := nextInt("m")
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading m: %w", err)
+		return nil, err
+	}
+	if n64 < 0 || m64 < 0 {
+		return nil, corrupt(format, "negative sizes n=%d m=%d", n64, m64)
+	}
+	if n64 > maxBinaryVertices || m64 > maxBinaryEdges {
+		return nil, corrupt(format, "implausible sizes n=%d m=%d", n64, m64)
 	}
 	n, m := int(n64), int(m64)
-	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("graphio: negative sizes n=%d m=%d", n, m)
+	if n == 0 && m > 0 {
+		return nil, corrupt(format, "m=%d edges with n=0 vertices", m)
 	}
-	offsets := make([]uint64, n+1)
+	offsets := make([]uint64, 0, min(n+1, allocChunk))
 	for v := 0; v < n; v++ {
-		o, err := nextInt()
+		o, err := nextInt("offset")
 		if err != nil {
-			return nil, fmt.Errorf("graphio: reading offset %d: %w", v, err)
+			return nil, err
 		}
 		if o < 0 || o > m64 {
-			return nil, fmt.Errorf("graphio: offset %d out of range", o)
+			return nil, corrupt(format, "offset %d of vertex %d out of range [0,%d]", o, v, m64)
 		}
-		offsets[v] = uint64(o)
-	}
-	offsets[n] = uint64(m)
-	for v := 0; v < n; v++ {
-		if offsets[v] > offsets[v+1] {
-			return nil, fmt.Errorf("graphio: offsets not monotone at %d", v)
+		if v == 0 && o != 0 {
+			return nil, corrupt(format, "first offset is %d, want 0", o)
 		}
+		if v > 0 && uint64(o) < offsets[v-1] {
+			return nil, corrupt(format, "offsets not monotone at vertex %d", v)
+		}
+		offsets = append(offsets, uint64(o))
 	}
-	edges := make([]graph.Vertex, m)
+	offsets = append(offsets, uint64(m))
+	edges := make([]graph.Vertex, 0, min(m, allocChunk))
 	for i := 0; i < m; i++ {
-		e, err := nextInt()
+		e, err := nextInt("edge")
 		if err != nil {
-			return nil, fmt.Errorf("graphio: reading edge %d: %w", i, err)
+			return nil, err
 		}
 		if e < 0 || e >= n64 {
-			return nil, fmt.Errorf("graphio: edge target %d out of range", e)
+			return nil, corrupt(format, "edge target %d out of range [0,%d)", e, n64)
 		}
-		edges[i] = graph.Vertex(e)
+		edges = append(edges, graph.Vertex(e))
 	}
 	var weights []graph.Weight
 	if weighted {
-		weights = make([]graph.Weight, m)
+		weights = make([]graph.Weight, 0, min(m, allocChunk))
 		for i := 0; i < m; i++ {
-			w, err := nextInt()
+			w, err := nextInt("weight")
 			if err != nil {
-				return nil, fmt.Errorf("graphio: reading weight %d: %w", i, err)
+				return nil, err
 			}
-			weights[i] = graph.Weight(w)
+			if w < 0 || w > maxWeight {
+				return nil, corrupt(format, "weight %d of edge %d out of range [0,%d]", w, i, maxWeight)
+			}
+			weights = append(weights, graph.Weight(w))
 		}
 	}
 	return graph.NewCSR(n, offsets, edges, weights, symmetric), nil
@@ -200,22 +220,24 @@ func WriteBinary(w io.Writer, g *graph.CSR) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary.
+// ReadBinary reads a graph written by WriteBinary. Errors are
+// *ParseError values wrapping ErrTruncated or ErrCorrupt.
 func ReadBinary(r io.Reader) (*graph.CSR, error) {
+	const format = "binary"
 	br := bufio.NewReaderSize(r, 1<<20)
 	var header [5]uint64
 	if err := binary.Read(br, binary.LittleEndian, header[:]); err != nil {
-		return nil, fmt.Errorf("graphio: reading binary header: %w", err)
+		return nil, ioError(format, "reading header", err)
 	}
 	if header[0] != binMagic {
-		return nil, fmt.Errorf("graphio: bad magic %#x", header[0])
+		return nil, corrupt(format, "bad magic %#x", header[0])
 	}
 	if header[1] != binVersion {
-		return nil, fmt.Errorf("graphio: unsupported version %d", header[1])
+		return nil, corrupt(format, "unsupported version %d", header[1])
 	}
 	flags := uint32(header[2])
 	if header[3] > maxBinaryVertices || header[4] > maxBinaryEdges {
-		return nil, fmt.Errorf("graphio: implausible sizes n=%d m=%d", header[3], header[4])
+		return nil, corrupt(format, "implausible sizes n=%d m=%d", header[3], header[4])
 	}
 	n, m := int(header[3]), int(header[4])
 	// Arrays are read in bounded chunks so a malicious header cannot
@@ -223,41 +245,53 @@ func ReadBinary(r io.Reader) (*graph.CSR, error) {
 	// stream actually delivers data.
 	offsets, err := readChunked[uint64](br, n+1)
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading offsets: %w", err)
+		return nil, ioError(format, "reading offsets", err)
 	}
 	if offsets[0] != 0 || offsets[n] != uint64(m) {
-		return nil, fmt.Errorf("graphio: malformed offsets")
+		return nil, corrupt(format, "malformed offsets (first=%d last=%d m=%d)", offsets[0], offsets[n], m)
 	}
 	for v := 0; v < n; v++ {
 		if offsets[v] > offsets[v+1] {
-			return nil, fmt.Errorf("graphio: offsets not monotone at %d", v)
+			return nil, corrupt(format, "offsets not monotone at vertex %d", v)
 		}
 	}
 	edges, err := readChunked[graph.Vertex](br, m)
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading edges: %w", err)
+		return nil, ioError(format, "reading edges", err)
 	}
 	for _, e := range edges {
 		if int64(e) >= int64(n) {
-			return nil, fmt.Errorf("graphio: edge target %d out of range", e)
+			return nil, corrupt(format, "edge target %d out of range [0,%d)", e, n)
 		}
 	}
 	var weights []graph.Weight
 	if flags&flagWeighted != 0 {
 		weights, err = readChunked[graph.Weight](br, m)
 		if err != nil {
-			return nil, fmt.Errorf("graphio: reading weights: %w", err)
+			return nil, ioError(format, "reading weights", err)
+		}
+		for i, w := range weights {
+			if w < 0 {
+				return nil, corrupt(format, "negative weight %d at edge %d", w, i)
+			}
 		}
 	}
 	return graph.NewCSR(n, offsets, edges, weights, flags&flagSymmetric != 0), nil
 }
 
 const (
-	// maxBinaryVertices and maxBinaryEdges bound what ReadBinary will
+	// maxBinaryVertices and maxBinaryEdges bound what the loaders will
 	// accept; they comfortably exceed anything a single machine holds
 	// while rejecting absurd headers outright.
 	maxBinaryVertices = 1 << 32
 	maxBinaryEdges    = 1 << 40
+	// maxWeight is the largest edge weight the loaders accept
+	// (graph.Weight is int32; negative weights would silently corrupt
+	// the unsigned distance arithmetic in sssp).
+	maxWeight = 1<<31 - 1
+	// allocChunk caps the initial capacity of header-sized allocations;
+	// arrays grow from there only as the stream delivers data.
+	allocChunk = 1 << 16
 )
 
 // readChunked reads exactly n fixed-size values, growing the result

@@ -54,20 +54,24 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 	p(MetricsPrefix + "uptime_seconds " +
 		strconv.FormatFloat(r.Elapsed().Seconds(), 'f', 3, 64) + "\n")
 
+	// Names are derived from the same snapshot the values come from.
+	// (The Names()/values() pairs walk the sync.Map twice, so a metric
+	// registered between the walks used to show up with a zero value —
+	// a torn scrape the /metrics hammer test pins.)
 	counters := r.Counters()
-	for _, name := range r.CounterNames() {
+	for _, name := range sortedKeys(counters) {
 		pn := promName(name)
 		p("# TYPE " + pn + " counter\n")
 		p(pn + " " + strconv.FormatInt(counters[name], 10) + "\n")
 	}
 	gauges := r.Gauges()
-	for _, name := range r.GaugeNames() {
+	for _, name := range sortedKeys(gauges) {
 		pn := promName(name)
 		p("# TYPE " + pn + " gauge\n")
 		p(pn + " " + strconv.FormatInt(gauges[name], 10) + "\n")
 	}
 	hists := r.Histograms()
-	for _, name := range r.HistogramNames() {
+	for _, name := range sortedKeys(hists) {
 		s := hists[name]
 		pn := promName(name)
 		p("# TYPE " + pn + " histogram\n")
@@ -80,11 +84,31 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			p(pn + `_bucket{le="` + strconv.FormatInt(histUpper(i)-1, 10) + `"} ` +
 				strconv.FormatInt(cum, 10) + "\n")
 		}
-		p(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(s.Count, 10) + "\n")
+		// The snapshot loads the count cell before the per-bucket
+		// cells, so samples recorded mid-snapshot can push the summed
+		// buckets past Count. Clamp the terminal values up so the
+		// cumulative series stays monotone (le="+Inf" >= every bucket
+		// and == _count), which Prometheus clients require.
+		total := s.Count
+		if cum > total {
+			total = cum
+		}
+		p(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(total, 10) + "\n")
 		p(pn + "_sum " + strconv.FormatInt(s.Sum, 10) + "\n")
-		p(pn + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
+		p(pn + "_count " + strconv.FormatInt(total, 10) + "\n")
 	}
 	return err
+}
+
+// sortedKeys returns m's keys in sorted order, so the exposition is
+// stable and every printed name is backed by the same snapshot.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // debugDump is the /debug/obs JSON shape.

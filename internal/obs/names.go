@@ -29,6 +29,40 @@ const (
 	HistFusedRunLen = "bucket.fused_run_len"
 )
 
+// Well-known names of the serving layer (internal/serve, DESIGN.md
+// §12). Latency histograms are per-endpoint so the load driver can
+// report p50/p99 for each.
+const (
+	// CtrServeRequests counts every admitted query.
+	CtrServeRequests = "serve.requests"
+	// CtrServeRejectedQueue counts 429s (admission queue full).
+	CtrServeRejectedQueue = "serve.rejected_queue_full"
+	// CtrServeRejectedClose counts 503s (server draining).
+	CtrServeRejectedClose = "serve.rejected_closing"
+	// CtrServeCanceled counts queries stopped by their deadline (504).
+	CtrServeCanceled = "serve.canceled"
+	// CtrServeCacheHits / CtrServeCacheMisses count result-cache
+	// lookups on the SSSP read path.
+	CtrServeCacheHits   = "serve.cache_hits"
+	CtrServeCacheMisses = "serve.cache_misses"
+	// CtrServeCoalesced counts requests that attached to another
+	// request's in-flight computation instead of starting their own.
+	CtrServeCoalesced = "serve.coalesced"
+	// CtrServeJobsSubmitted / CtrServeJobsDone count async jobs.
+	CtrServeJobsSubmitted = "serve.jobs_submitted"
+	CtrServeJobsDone      = "serve.jobs_done"
+	// GaugeServeInflight is the number of queries currently executing.
+	GaugeServeInflight = "serve.inflight"
+	// HistServeQueueWaitNs is time spent waiting for an admission slot.
+	HistServeQueueWaitNs = "serve.queue_wait_ns"
+	// HistServeSSSPNs, HistServeWBFSNs, HistServeCorenessNs, and
+	// HistServeJobNs are whole-request latencies per endpoint.
+	HistServeSSSPNs     = "serve.sssp.latency_ns"
+	HistServeWBFSNs     = "serve.wbfs.latency_ns"
+	HistServeCorenessNs = "serve.coreness.latency_ns"
+	HistServeJobNs      = "serve.job.latency_ns"
+)
+
 // WellKnownNames returns the registry of every counter, gauge, and
 // histogram name the in-tree instrumentation reports under. Tests
 // assert that instrumented runs emit no names outside this set, so
@@ -57,5 +91,21 @@ func WellKnownNames() map[string]bool {
 		HistEdgeMapEdges:    true,
 		HistOpLatencyNs:     true,
 		HistFusedRunLen:     true,
+		// serving layer
+		CtrServeRequests:      true,
+		CtrServeRejectedQueue: true,
+		CtrServeRejectedClose: true,
+		CtrServeCanceled:      true,
+		CtrServeCacheHits:     true,
+		CtrServeCacheMisses:   true,
+		CtrServeCoalesced:     true,
+		CtrServeJobsSubmitted: true,
+		CtrServeJobsDone:      true,
+		GaugeServeInflight:    true,
+		HistServeQueueWaitNs:  true,
+		HistServeSSSPNs:       true,
+		HistServeWBFSNs:       true,
+		HistServeCorenessNs:   true,
+		HistServeJobNs:        true,
 	}
 }

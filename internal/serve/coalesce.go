@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"julienne/internal/graph"
+	"julienne/internal/obs"
+)
+
+// ssspKey identifies one distance computation: identical concurrent
+// requests coalesce onto a single run, and completed runs are cached.
+// Fusion participates in the key because fused and unfused runs report
+// different round counts (the distances agree).
+type ssspKey struct {
+	src    graph.Vertex
+	delta  int64
+	wbfs   bool
+	fusion bool
+}
+
+// ssspVal is one computed (or failed) distance vector. Dist is shared
+// read-only between the leader, every coalesced follower, and the
+// cache — handlers must never mutate it.
+type ssspVal struct {
+	dist        []int64
+	rounds      int64
+	relaxations int64
+	err         error
+}
+
+// ssspFlight is one in-progress computation followers wait on.
+type ssspFlight struct {
+	done chan struct{}
+	val  *ssspVal
+}
+
+// coalescer deduplicates concurrent identical SSSP queries
+// (singleflight) and keeps an LRU of recent successful results, so a
+// hot source costs one computation no matter how many clients ask.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[ssspKey]*ssspFlight
+	lru      *lruCache
+	rec      *obs.Recorder
+}
+
+func newCoalescer(cacheSize int, rec *obs.Recorder) *coalescer {
+	return &coalescer{
+		inflight: make(map[ssspKey]*ssspFlight),
+		lru:      newLRU(cacheSize),
+		rec:      rec,
+	}
+}
+
+// do returns the result for key, computing it at most once across
+// concurrent callers. The bool results report whether the value came
+// from the cache and whether this caller coalesced onto another
+// caller's run. A non-nil error is returned only when ctx expired
+// while waiting for another caller's computation; errors from the
+// computation itself travel inside ssspVal.err so every waiter sees
+// them.
+func (c *coalescer) do(ctx context.Context, key ssspKey,
+	compute func() *ssspVal) (val *ssspVal, cached, coalesced bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.lru.get(key); ok {
+		c.mu.Unlock()
+		c.rec.Inc(obs.CtrServeCacheHits)
+		return v, true, false, nil
+	}
+	c.rec.Inc(obs.CtrServeCacheMisses)
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.rec.Inc(obs.CtrServeCoalesced)
+		select {
+		case <-f.done:
+			return f.val, false, true, nil
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+	}
+	f := &ssspFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val = compute()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.val.err == nil {
+		c.lru.put(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, false, nil
+}
+
+// lruCache is a size-bounded map with least-recently-used eviction
+// (stdlib container/list; no dependencies). Callers synchronize.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[ssspKey]*list.Element
+}
+
+type lruEntry struct {
+	key ssspKey
+	val *ssspVal
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[ssspKey]*list.Element)}
+}
+
+func (l *lruCache) get(key ssspKey) (*ssspVal, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (l *lruCache) put(key ssspKey, val *ssspVal) {
+	if l.cap <= 0 {
+		return
+	}
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruEntry{key: key, val: val})
+	if l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry).key)
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"julienne/internal/obs"
+)
+
+// Job states, as reported by GET /jobs/{id}.
+const (
+	jobPending  = "pending"
+	jobRunning  = "running"
+	jobDone     = "done"
+	jobFailed   = "failed"
+	jobCanceled = "canceled"
+)
+
+// jobInfo is the JSON shape of one job's status.
+type jobInfo struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	Status     string `json:"status"`
+	DurationNs int64  `json:"duration_ns,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Result     any    `json:"result,omitempty"`
+}
+
+type job struct {
+	id   string
+	kind string
+	fn   func(ctx context.Context) (any, error)
+
+	mu     sync.Mutex
+	status string
+	result any
+	err    error
+	durNs  int64
+}
+
+func (j *job) info() jobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := jobInfo{ID: j.id, Kind: j.kind, Status: j.status, DurationNs: j.durNs}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if j.status == jobDone {
+		info.Result = j.result
+	}
+	return info
+}
+
+// jobManager runs the long analytics queries (set cover, densest
+// subgraph) asynchronously: submission returns a job id immediately,
+// a small fixed worker pool executes jobs off the HTTP path, and
+// clients poll GET /jobs/{id}. The submission queue is bounded —
+// overflow is backpressure (429), exactly like the query path.
+type jobManager struct {
+	rec    *obs.Recorder
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // insertion order, for bounded retention
+	seq     int64
+	maxKept int
+}
+
+func newJobManager(workers, queueDepth, maxKept int, rec *obs.Recorder) *jobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if maxKept < queueDepth+workers {
+		maxKept = queueDepth + workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &jobManager{
+		rec:     rec,
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, queueDepth),
+		jobs:    make(map[string]*job),
+		maxKept: maxKept,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+func (m *jobManager) run(j *job) {
+	j.mu.Lock()
+	j.status = jobRunning
+	j.mu.Unlock()
+	start := m.rec.Clock()
+	result, err := j.fn(m.ctx)
+	m.rec.ObserveSince(obs.HistServeJobNs, start)
+	m.rec.Inc(obs.CtrServeJobsDone)
+	j.mu.Lock()
+	if !start.IsZero() {
+		j.durNs = m.rec.Clock().Sub(start).Nanoseconds()
+	}
+	j.result, j.err = result, err
+	switch {
+	case err == nil:
+		j.status = jobDone
+	case errors.Is(err, obs.ErrCanceled), errors.Is(err, context.Canceled):
+		j.status = jobCanceled
+	default:
+		j.status = jobFailed
+	}
+	j.mu.Unlock()
+}
+
+// submit enqueues a job, returning ErrClosing after shutdown started
+// and ErrQueueFull when the queue is at capacity.
+func (m *jobManager) submit(kind string, fn func(ctx context.Context) (any, error)) (*job, error) {
+	select {
+	case <-m.ctx.Done():
+		return nil, ErrClosing
+	default:
+	}
+	m.mu.Lock()
+	m.seq++
+	j := &job{id: fmt.Sprintf("job-%d", m.seq), kind: kind, fn: fn, status: jobPending}
+	m.mu.Unlock()
+	select {
+	case m.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	m.remember(j)
+	m.rec.Inc(obs.CtrServeJobsSubmitted)
+	return j, nil
+}
+
+// remember indexes the job for status polling, evicting the oldest
+// finished jobs beyond the retention bound.
+func (m *jobManager) remember(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	for len(m.order) > m.maxKept {
+		old := m.jobs[m.order[0]]
+		old.mu.Lock()
+		finished := old.status == jobDone || old.status == jobFailed || old.status == jobCanceled
+		old.mu.Unlock()
+		if !finished {
+			break // never evict live jobs; retention is over-provisioned
+		}
+		delete(m.jobs, m.order[0])
+		m.order = m.order[1:]
+	}
+}
+
+// lookup returns the job's current status snapshot.
+func (m *jobManager) lookup(id string) (jobInfo, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return jobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// shutdown cancels the worker context (running jobs observe it per
+// round and stop), waits for the workers, and marks never-started
+// jobs canceled.
+func (m *jobManager) shutdown() {
+	m.cancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.status == jobPending {
+			j.status = jobCanceled
+			j.err = ErrClosing
+		}
+		j.mu.Unlock()
+	}
+}
