@@ -26,11 +26,16 @@ fmt:
 
 # lint runs the stock toolchain passes (go vet: copylocks, atomic,
 # nilfunc, ...) plus julvet, the in-repo multichecker that enforces the
-# framework's concurrency and arena contracts (DESIGN.md §8):
-# atomicmix, atomicalign, arenaalias, scratchpair, tagdrift,
-# norandtime, panicguard. The tagged invocations re-analyze the tree
-# with the other half of each race/julienne_debug file pair (and the
-# chaos-injection hooks) active.
+# framework's concurrency, arena, and serving contracts (DESIGN.md
+# §8/§13): atomicmix, atomicalign, arenaalias, scratchpair, tagdrift,
+# norandtime, panicguard, ctxguard, semabalance, obsnames, statusmap.
+# Obligations (Release, cancel, semaphore release, recover guards) are
+# tracked interprocedurally: per-function facts are computed over the
+# whole unit, serialized, and consulted when an obligation crosses a
+# helper call — same package or across packages. The tagged
+# invocations re-analyze the tree with the other half of each
+# race/julienne_debug file pair (and the chaos-injection hooks)
+# active, each as its own unit with its own fact store.
 lint: vet
 	$(GO) run ./cmd/julvet ./...
 	$(GO) run ./cmd/julvet -tags race ./...

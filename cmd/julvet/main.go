@@ -1,10 +1,14 @@
 // Command julvet is julienne's multichecker: it runs the custom
 // analyzers of internal/analysis (atomicmix, atomicalign, arenaalias,
-// scratchpair, tagdrift, norandtime) over the packages matching its
-// arguments and exits non-zero if any diagnostic survives the
-// //lint:ignore directives. `make lint` runs it over ./... next to
-// `go vet` (which contributes the stock copylocks/atomic/nilfunc
-// passes the vendorless build cannot import from x/tools).
+// scratchpair, tagdrift, norandtime, panicguard, ctxguard, semabalance,
+// obsnames, statusmap) over the packages matching its arguments and
+// exits non-zero if any diagnostic survives the //lint:ignore
+// directives. Since PR 10 the run is interprocedural: the driver builds
+// a unit-wide fact store so obligations are followed through helper
+// calls, and stale suppressions are reported by the unuseddirective
+// driver check. `make lint` runs it over ./... next to `go vet` (which
+// contributes the stock copylocks/atomic/nilfunc passes the vendorless
+// build cannot import from x/tools).
 //
 // Usage:
 //
@@ -16,10 +20,13 @@
 //	-dir path    analyze a GOPATH-style source tree instead of module
 //	             packages (used by the smoke test against the known-bad
 //	             fixtures under internal/analysis/testdata)
+//	-json        emit diagnostics as a JSON array on stdout (for the
+//	             nightly CI sweep)
 //	-list        print the registered analyzers and exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +45,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	tags := fs.String("tags", "", "build tags forwarded to go list")
 	runList := fs.String("run", "", "comma-separated analyzer subset (default all)")
 	dir := fs.String("dir", "", "analyze a GOPATH-style source tree instead of module packages")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
 	list := fs.Bool("list", false, "print registered analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,8 +84,34 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "julvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "julvet: %d finding(s)\n", len(diags))

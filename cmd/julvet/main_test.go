@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,10 +63,44 @@ func TestKnownBadFixtureFails(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("julvet -dir testdata/src exited %d, want 1; stdout:\n%s\nstderr:\n%s", code, out, stderr)
 	}
-	for _, frag := range []string{"[julvet/norandtime]", "bad.go"} {
+	for _, frag := range []string{"[julvet/norandtime]", "bad.go", "[julvet/ctxguard]", "badctx.go"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("diagnostic output missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// TestJSONOutput pins the machine-readable mode the nightly CI job
+// consumes: exit 1 on findings, stdout a JSON array with stable field
+// names, human text kept off stdout.
+func TestJSONOutput(t *testing.T) {
+	code, out, stderr := capture(t, "-json", "-dir", "testdata/src")
+	if code != 1 {
+		t.Fatalf("julvet -json exited %d, want 1; stderr:\n%s", code, stderr)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+	}
+	byAnalyzer := map[string]bool{}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic with missing fields: %+v", d)
+		}
+		byAnalyzer[d.Analyzer] = true
+	}
+	for _, want := range []string{"norandtime", "ctxguard"} {
+		if !byAnalyzer[want] {
+			t.Errorf("JSON output missing a %s finding: %s", want, out)
+		}
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("summary line missing from stderr:\n%s", stderr)
 	}
 }
 

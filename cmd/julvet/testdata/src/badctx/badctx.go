@@ -1,0 +1,17 @@
+// Known-bad fixture for the serving-contract analyzers: the cancel
+// func escapes one path, so julvet must exit non-zero with a
+// ctxguard diagnostic when run over this tree.
+package badctx
+
+import (
+	"context"
+	"time"
+)
+
+func leakyDeadline(parent context.Context, fast bool) context.Context {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	if fast {
+		cancel()
+	}
+	return ctx
+}

@@ -16,6 +16,22 @@
 //     the rng/harness/obs plumbing
 //   - atomicalign: 64-bit atomic fields must sit at 64-bit-aligned
 //     offsets under a 32-bit memory layout
+//   - panicguard:  goroutines spawned outside internal/parallel must
+//     install the panic-containment recover
+//   - ctxguard:    context cancel funcs are called on every path and
+//     request contexts are never stored past handler return
+//   - semabalance: admission-semaphore acquire/release stay paired
+//     across serve's helper calls
+//   - obsnames:    metric names resolve to the obs well-known-names
+//     registry, in both directions
+//   - statusmap:   each typed serve error maps to exactly one HTTP
+//     status
+//
+// Since PR 10 the driver is interprocedural: every load is wrapped in a
+// Unit (interproc.go) that computes per-function facts to a fixpoint
+// and serializes them per package, so arenaalias/scratchpair/
+// panicguard/ctxguard/semabalance/obsnames follow their obligations
+// through helper calls, same-package and cross-package alike.
 //
 // The framework is built on the standard library alone (go/ast,
 // go/types, and `go list -export` for import resolution) because this
@@ -44,6 +60,9 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on one package.
 	Run func(*Pass) error
+	// Finish, if set, runs once per load unit after every package's Run,
+	// for whole-unit checks (obsnames' reverse registry-drift pass).
+	Finish func(u *Unit, reportf func(pos token.Pos, format string, args ...any))
 }
 
 // Pass carries one package's syntax and type information to an
@@ -61,8 +80,21 @@ type Pass struct {
 	IgnoredFiles []*ast.File
 	Pkg          *types.Package
 	TypesInfo    *types.Info
+	// Facts is the unit-wide interprocedural fact store (interproc.go);
+	// never nil under RunAnalyzers, may be nil under hand-built passes.
+	Facts *Facts
 
+	unit  *Unit
 	diags *[]Diagnostic
+}
+
+// InUnit reports whether fn's body is part of the current load unit, so
+// the facts for it are authoritative: a unit function WITHOUT a fact
+// really does lack the property, while a function outside the unit is
+// merely unknown. Analyzers use this to decide between "trust the
+// missing fact" and "assume a conservative transfer".
+func (p *Pass) InUnit(fn *types.Func) bool {
+	return p.unit != nil && factsEnabled && p.unit.HasBody(fn)
 }
 
 // Reportf records a diagnostic at pos.
@@ -102,17 +134,32 @@ type suppression struct {
 // diagnostics, filters the ones covered by //lint:ignore directives
 // (same line or the line directly below the directive), and returns
 // the survivors sorted by position. Malformed directives (missing
-// reason) are reported as driver diagnostics.
+// reason), directives naming an analyzer that does not exist, and
+// directives in active files that suppress nothing this run are
+// reported as driver diagnostics.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	unit := NewUnit(pkgs)
 	var diags []Diagnostic
-	var sups []suppression
+	type supEntry struct {
+		suppression
+		active bool // in a type-checked file (stale directives only matter there)
+		used   bool
+	}
+	var sups []*supEntry
 	for _, pkg := range pkgs {
-		for _, files := range [][]*ast.File{pkg.Files, pkg.IgnoredFiles} {
-			for _, f := range files {
-				s, bad := collectSuppressions(pkg.Fset, f)
-				sups = append(sups, s...)
-				diags = append(diags, bad...)
+		for _, f := range pkg.Files {
+			s, bad := collectSuppressions(pkg.Fset, f)
+			for _, sup := range s {
+				sups = append(sups, &supEntry{suppression: sup, active: true})
 			}
+			diags = append(diags, bad...)
+		}
+		for _, f := range pkg.IgnoredFiles {
+			s, bad := collectSuppressions(pkg.Fset, f)
+			for _, sup := range s {
+				sups = append(sups, &supEntry{suppression: sup})
+			}
+			diags = append(diags, bad...)
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -122,6 +169,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				IgnoredFiles: pkg.IgnoredFiles,
 				Pkg:          pkg.Types,
 				TypesInfo:    pkg.Info,
+				Facts:        unit.Facts,
+				unit:         unit,
 				diags:        &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -132,10 +181,64 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(unit, func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Pos:      unit.Fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(d, sups) {
+		matched := false
+		for _, s := range sups {
+			if supCovers(s.suppression, d) {
+				s.used = true
+				matched = true
+			}
+		}
+		if !matched {
 			kept = append(kept, d)
+		}
+	}
+	// Stale-directive check (the unuseddirective driver pass): a
+	// directive in an active file whose analyzer ran this time but
+	// matched nothing is dead weight and gets reported, as does a
+	// directive naming an analyzer that does not exist at all. Directives
+	// for analyzers outside this run's set are left alone — a subset run
+	// cannot tell whether they still earn their keep.
+	runSet := map[string]bool{}
+	for _, a := range analyzers {
+		runSet[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, s := range sups {
+		if !s.active || s.used {
+			continue
+		}
+		pos := token.Position{Filename: s.file, Line: s.line}
+		switch {
+		case !known[s.analyzer]:
+			kept = append(kept, Diagnostic{
+				Analyzer: "driver",
+				Pos:      pos,
+				Message:  fmt.Sprintf("lint:ignore julvet/%s names an unknown analyzer", s.analyzer),
+			})
+		case runSet[s.analyzer]:
+			kept = append(kept, Diagnostic{
+				Analyzer: "driver",
+				Pos:      pos,
+				Message:  fmt.Sprintf("lint:ignore julvet/%s suppresses nothing; delete the stale directive", s.analyzer),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -183,15 +286,21 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) ([]suppression, []Dia
 	return sups, bad
 }
 
-// suppressed reports whether d is covered by a directive on its own
-// line or on the line directly above (the two placements gofmt keeps
-// stable for trailing and standalone comments respectively).
+// supCovers reports whether one directive covers d: same analyzer and
+// file, on d's own line or on the line directly above (the two
+// placements gofmt keeps stable for trailing and standalone comments
+// respectively).
+func supCovers(s suppression, d Diagnostic) bool {
+	if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
+		return false
+	}
+	return s.line == d.Pos.Line || s.line == d.Pos.Line-1
+}
+
+// suppressed reports whether d is covered by any of the directives.
 func suppressed(d Diagnostic, sups []suppression) bool {
 	for _, s := range sups {
-		if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
-			continue
-		}
-		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+		if supCovers(s, d) {
 			return true
 		}
 	}

@@ -144,3 +144,19 @@ func TestSuppressionPlacement(t *testing.T) {
 		t.Error("directive must only cover its named analyzer")
 	}
 }
+
+func TestCtxGuard(t *testing.T) {
+	RunTest(t, "testdata/src", CtxGuard, "ctxguard")
+}
+
+func TestSemaBalance(t *testing.T) {
+	RunTest(t, "testdata/src", SemaBalance, "semabalance")
+}
+
+func TestObsNames(t *testing.T) {
+	RunTest(t, "testdata/src", ObsNames, "obsnames")
+}
+
+func TestStatusMap(t *testing.T) {
+	RunTest(t, "testdata/src", StatusMap, "statusmap")
+}

@@ -156,6 +156,20 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		p, ok := isArenaProducer(pass, call)
 		if !ok {
+			// Interprocedural: a unit function that tail-returns a
+			// producer (ArenaResults fact) arms an arena slice with the
+			// same shape.
+			if fn := calleeFunc(pass, call); fn != nil {
+				if ff := pass.Facts.Of(fn); ff.ArenaResults > 0 {
+					p = struct {
+						results  int
+						sliceIdx int
+					}{ff.ArenaResults, ff.ArenaSliceIdx}
+					ok = true
+				}
+			}
+		}
+		if !ok {
 			return true
 		}
 		// The arena slice sits at a fixed result index; any other LHS
@@ -186,7 +200,7 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.CallExpr:
-			if isArenaMethod(pass, s, arenaInvalidators) {
+			if isArenaMethod(pass, s, arenaInvalidators) || isFactArenaInvalidator(pass, s) {
 				// The call expires previously armed slices. Recorded at
 				// the call's end, not its start: the call's own
 				// arguments — in particular the update closure that
@@ -299,6 +313,16 @@ func checkArenaBody(pass *Pass, body *ast.BlockStmt) {
 				ev.obj.Name())
 		}
 	}
+}
+
+// isFactArenaInvalidator reports a call to a unit function that the
+// fact store knows invalidates a structure handed to it (it calls
+// NextBucket/UpdateBuckets/... on a receiver or parameter, directly or
+// transitively) — such a call expires armed arenas in this body exactly
+// like a direct invalidator call.
+func isFactArenaInvalidator(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && pass.InUnit(fn) && pass.Facts.Of(fn).InvalidatesArena
 }
 
 // aliasSource reports whether expr is a plain alias of a bound slice

@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the CFG-lite half of the interprocedural engine
+// (DESIGN.md §13): a branch/return/defer path enumerator over the AST
+// that the pairing analyzers (ctxguard, semabalance) and the fact
+// extractors share. It is deliberately not a real CFG — no goto
+// resolution, loops walked once — because every obligation pattern in
+// this repository is structured (acquire at the top, branch on the
+// verdict, discharge before each exit), and the fixtures pin exactly
+// the shapes the walker understands.
+//
+// The walker owns path enumeration and condition gates; the analyzer
+// owns statement semantics through hooks. An analyzer models its
+// protocol as obligations in a pathState: the walker clones the state
+// at branches, applies success/failure gates from the branch
+// condition, re-merges the surviving branches, and calls back at every
+// exit with what is still held.
+
+// obInfo is the per-obligation record shared by every path copy of a
+// pathOb, so a leak on one path is reported once no matter how many
+// paths reach an exit while holding it.
+type obInfo struct {
+	pos    token.Pos // where the obligation was created (diagnostic anchor)
+	name   string    // human name for the message
+	leaked bool      // a diagnostic has been issued
+}
+
+// pathOb is one path's view of an obligation. cond, when set, is the
+// bool/error variable gating it: the obligation is real only on paths
+// where that variable indicates the acquiring call succeeded. Branch
+// gates resolve it — the failure branch drops the obligation, the
+// success branch makes it unconditional.
+type pathOb struct {
+	info *obInfo
+	cond types.Object
+}
+
+func (o *pathOb) clone() *pathOb {
+	c := *o
+	return &c
+}
+
+// pathState maps the obligation-carrying object (a cancel func, a
+// release closure, an admission-semaphore field) to its state on the
+// current path.
+type pathState map[types.Object]*pathOb
+
+func (s pathState) clone() pathState {
+	out := make(pathState, len(s))
+	for k, v := range s {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+// pathSim walks one function body, calling the analyzer's hooks along
+// every enumerated path. All hooks are optional.
+type pathSim struct {
+	pass *Pass
+	// onStmt interprets one simple statement (assign, expr, incdec,
+	// send, go, decl, and the return statement just before its exit),
+	// mutating held.
+	onStmt func(s ast.Stmt, held pathState)
+	// onDefer interprets a deferred call. Defers run at every exit
+	// reached from here, so a discharging defer may discharge
+	// immediately (every path past this statement is covered).
+	onDefer func(call *ast.CallExpr, held pathState)
+	// onExpr interprets a bare condition expression (if/for/switch/case
+	// conditions), mutating held.
+	onExpr func(e ast.Expr, held pathState)
+	// onExit is called at each return statement (ret non-nil) and at a
+	// reachable fall-off of the body (ret nil) with the obligations the
+	// path still holds.
+	onExit func(ret *ast.ReturnStmt, pos token.Pos, held pathState)
+}
+
+// walkBody enumerates the body's paths starting from held.
+func (w *pathSim) walkBody(body *ast.BlockStmt, held pathState) {
+	if !w.walkStmts(body.List, held) {
+		w.exit(nil, body.End(), held)
+	}
+}
+
+func (w *pathSim) exit(ret *ast.ReturnStmt, pos token.Pos, held pathState) {
+	if w.onExit != nil {
+		w.onExit(ret, pos, held)
+	}
+}
+
+func (w *pathSim) stmt(s ast.Stmt, held pathState) {
+	if w.onStmt != nil {
+		w.onStmt(s, held)
+	}
+}
+
+func (w *pathSim) expr(e ast.Expr, held pathState) {
+	if w.onExpr != nil {
+		w.onExpr(e, held)
+	}
+}
+
+// walkStmts interprets a statement list, mutating held in place, and
+// reports whether the list definitely terminates (return, panic,
+// os.Exit) so the caller knows the fall-through path is dead.
+func (w *pathSim) walkStmts(stmts []ast.Stmt, held pathState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *pathSim) walkStmt(s ast.Stmt, held pathState) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		// The analyzer sees the return first (returning an obligation
+		// transfers it to the caller), then the exit check runs.
+		w.stmt(st, held)
+		w.exit(st, st.Pos(), held)
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			return true // panic/os.Exit: not a leak-checked exit
+		}
+		w.stmt(st, held)
+		return false
+	case *ast.DeferStmt:
+		if w.onDefer != nil {
+			w.onDefer(st.Call, held)
+		}
+		return false
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt,
+		*ast.DeclStmt, *ast.EmptyStmt:
+		w.stmt(s, held)
+		return false
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.expr(st.Cond, held)
+		gateObj, gateSuccess, hasGate := condGate(w.pass, st.Cond)
+		thenHeld := held.clone()
+		if hasGate {
+			applyGate(thenHeld, gateObj, gateSuccess)
+		}
+		thenTerm := w.walkStmts(st.Body.List, thenHeld)
+		elseHeld := held.clone()
+		if hasGate {
+			applyGate(elseHeld, gateObj, !gateSuccess)
+		}
+		elseTerm := false
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = w.walkStmts(e.List, elseHeld)
+			case *ast.IfStmt:
+				elseTerm = w.walkStmt(e, elseHeld)
+			}
+		}
+		mergePathBranches(held, thenHeld, thenTerm, elseHeld, elseTerm)
+		return thenTerm && elseTerm
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, held)
+		}
+		bodyHeld := held.clone()
+		w.walkStmts(st.Body.List, bodyHeld)
+		adoptLoopState(held, bodyHeld)
+		return false
+	case *ast.RangeStmt:
+		w.expr(st.X, held)
+		bodyHeld := held.clone()
+		w.walkStmts(st.Body.List, bodyHeld)
+		adoptLoopState(held, bodyHeld)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies []*ast.BlockStmt
+		var hasDefault bool
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				w.walkStmt(sw.Init, held)
+			}
+			if sw.Tag != nil {
+				w.expr(sw.Tag, held)
+			}
+			for _, c := range sw.Body.List {
+				cc := c.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+				}
+				for _, e := range cc.List {
+					w.expr(e, held)
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				w.walkStmt(sw.Init, held)
+			}
+			for _, c := range sw.Body.List {
+				cc := c.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cc.Body})
+			}
+		case *ast.SelectStmt:
+			hasDefault = true
+			for _, c := range sw.Body.List {
+				bodies = append(bodies, &ast.BlockStmt{List: c.(*ast.CommClause).Body})
+			}
+		}
+		allTerm := len(bodies) > 0
+		merged := pathState{}
+		anyFall := false
+		for _, b := range bodies {
+			caseHeld := held.clone()
+			// Case bodies may gate on a per-case errors.Is verdict; the
+			// analyzer resolves those inside onStmt as needed.
+			if !w.walkStmts(b.List, caseHeld) {
+				for k, v := range caseHeld {
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+				anyFall = true
+				allTerm = false
+			}
+		}
+		if anyFall || !hasDefault {
+			if !hasDefault {
+				// The skip path (no case matched) keeps the pre-switch
+				// state.
+				for k, v := range held {
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+			}
+			for k := range held {
+				delete(held, k)
+			}
+			for k, v := range merged {
+				held[k] = v
+			}
+		}
+		return allTerm && hasDefault
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	default:
+		// break/continue/goto: the path continues conservatively.
+		return false
+	}
+}
+
+// condGate recognizes the success/failure conditions the serving code
+// branches on: `ok`, `!ok` (bool verdicts) and `err == nil`,
+// `err != nil` (error verdicts). It returns the gating object and
+// whether the condition being TRUE means the acquiring call succeeded.
+func condGate(pass *Pass, cond ast.Expr) (types.Object, bool, bool) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[c]; obj != nil && isBoolType(obj.Type()) {
+			return obj, true, true
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			if id, ok := ast.Unparen(c.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && isBoolType(obj.Type()) {
+					return obj, false, true
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if c.Op != token.EQL && c.Op != token.NEQ {
+			break
+		}
+		id, nilSide := nilComparison(c)
+		if id == nil {
+			break
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !isErrorType(obj.Type()) || !nilSide {
+			break
+		}
+		// err == nil true => success; err != nil true => failure.
+		return obj, c.Op == token.EQL, true
+	}
+	return nil, false, false
+}
+
+func isBoolType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// nilComparison extracts the ident from `x == nil` / `nil == x` forms.
+func nilComparison(c *ast.BinaryExpr) (*ast.Ident, bool) {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if id, ok := ast.Unparen(c.X).(*ast.Ident); ok && isNil(c.Y) {
+		return id, true
+	}
+	if id, ok := ast.Unparen(c.Y).(*ast.Ident); ok && isNil(c.X) {
+		return id, true
+	}
+	return nil, false
+}
+
+// applyGate resolves every obligation gated on obj for a branch where
+// the acquire's success is branchSuccess: the failure branch holds
+// nothing (the acquire returned an error; there is no token/cancel to
+// pair), the success branch holds it unconditionally.
+func applyGate(held pathState, obj types.Object, branchSuccess bool) {
+	for k, ob := range held {
+		if ob.cond != obj {
+			continue
+		}
+		if branchSuccess {
+			ob.cond = nil
+		} else {
+			delete(held, k)
+		}
+	}
+}
+
+// mergePathBranches recomputes held after an if/else: an obligation
+// survives if any non-terminated continuation still holds it.
+func mergePathBranches(held, thenHeld pathState, thenTerm bool, elseHeld pathState, elseTerm bool) {
+	for k := range held {
+		delete(held, k)
+	}
+	if !thenTerm {
+		for k, v := range thenHeld {
+			held[k] = v
+		}
+	}
+	if !elseTerm {
+		for k, v := range elseHeld {
+			if _, ok := held[k]; !ok {
+				held[k] = v
+			}
+		}
+	}
+}
+
+// adoptLoopState carries a loop body's fall-through state past the
+// loop: obligations created inside persist, obligations discharged
+// inside count as discharged after it — the source order of every
+// acquire/release loop in this repository (and of the scratchpair
+// walker this mirrors).
+func adoptLoopState(held, bodyHeld pathState) {
+	for k := range held {
+		if _, ok := bodyHeld[k]; !ok {
+			delete(held, k)
+		}
+	}
+	for k, v := range bodyHeld {
+		held[k] = v
+	}
+}
+
+// isTerminalCall reports calls that end the goroutine without reaching
+// a return: panic, os.Exit, log.Fatal*, runtime.Goexit. Obligations on
+// panicking paths are out of scope (same stance as scratchpair).
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			return fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxGuard enforces the serving layer's context discipline (DESIGN.md
+// §12–§13): every context.WithCancel/WithTimeout/WithDeadline must have
+// its cancel function called on every panic-free path — directly,
+// deferred, or through a helper known (by fact) to cancel it — and a
+// request-scoped context must not be stored into a struct field, map,
+// or package variable, where it would outlive the handler that owns it.
+var CtxGuard = &Analyzer{
+	Name: "ctxguard",
+	Doc: "ctxguard: context cancel funcs must be called on all paths; " +
+		"request contexts must not be stored past handler return",
+	Run: runCtxGuard,
+}
+
+func runCtxGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCancelPairing(pass, fd.Body)
+			checkCtxStores(pass, fd)
+		}
+		// Package-level func literals (var h = func(){...}) are rare but
+		// cheap to cover.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if lit, ok := v.(*ast.FuncLit); ok {
+						checkCancelPairing(pass, lit.Body)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isContextWith reports a call to context.WithCancel / WithTimeout /
+// WithDeadline, resolved through the type info (not the package alias).
+func isContextWith(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+		return true
+	}
+	return false
+}
+
+// checkCancelPairing runs the path walker over one body. Obligations
+// come from `ctx, cancel := context.WithCancel(...)`; discharges are a
+// direct or deferred cancel() call, a handoff to a helper with the
+// CancelsParams fact, or a conservative transfer (stored, returned,
+// captured by a closure, or passed to a function outside the unit —
+// the jobs.go composite-literal and qCancels-map patterns).
+func checkCancelPairing(pass *Pass, body *ast.BlockStmt) {
+	// Func literals are separate analysis subjects: each body gets its
+	// own walk, and the outer walk never descends into them (a literal
+	// capturing a held cancel is a transfer, handled in scanCancelNode).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkCancelPairing(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+
+	sim := &pathSim{pass: pass}
+	sim.onStmt = func(s ast.Stmt, held pathState) {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			ctxGuardAssign(pass, as, held)
+			return
+		}
+		scanCancelNode(pass, s, held, false)
+	}
+	sim.onDefer = func(call *ast.CallExpr, held pathState) {
+		scanCancelNode(pass, call, held, true)
+	}
+	sim.onExpr = func(e ast.Expr, held pathState) {
+		scanCancelNode(pass, e, held, false)
+	}
+	sim.onExit = func(ret *ast.ReturnStmt, pos token.Pos, held pathState) {
+		for _, ob := range held {
+			if ob.info.leaked {
+				continue
+			}
+			ob.info.leaked = true
+			pass.Reportf(ob.info.pos, "%s is not called on every path", ob.info.name)
+		}
+	}
+	sim.walkBody(body, pathState{})
+}
+
+// ctxGuardAssign creates obligations from With* assignments and treats
+// any other assignment mentioning a held cancel func as a transfer
+// (storing it somewhere the analyzer cannot follow — jobs.go's
+// composite literals and serve.go's qCancels map).
+func ctxGuardAssign(pass *Pass, as *ast.AssignStmt, held pathState) {
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isContextWith(pass, call) && len(as.Lhs) == 2 {
+			if id, ok := as.Lhs[1].(*ast.Ident); ok {
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "cancel func of %s is discarded", callName(call))
+					return
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					held[obj] = &pathOb{info: &obInfo{
+						pos:  call.Pos(),
+						name: "cancel func of " + callName(call),
+					}}
+				}
+			}
+			return
+		}
+	}
+	scanCancelNode(pass, as, held, false)
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return pkg.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "context.With*"
+}
+
+// scanCancelNode interprets one statement/expression against the held
+// cancel obligations: calls are resolved against the facts, closures
+// capturing a held cancel are transfers, and any other mention of a
+// held cancel func (returned, re-assigned, stored in a literal) is a
+// conservative ownership transfer.
+func scanCancelNode(pass *Pass, n ast.Node, held pathState, deferred bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			handleCancelCall(pass, x, held, deferred)
+			return false
+		case *ast.FuncLit:
+			// A closure capturing the cancel func owns it now (serve.go's
+			// beginQuery end-closure); transfer and do not descend — the
+			// literal's body is analyzed on its own.
+			transferMentioned(pass, x.Body, held)
+			return false
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				delete(held, obj)
+			}
+		}
+		return true
+	})
+}
+
+// handleCancelCall resolves one call against the held obligations. It
+// consumes the whole call (the Inspect above never descends into one):
+// bare-ident arguments are matched against the callee's facts — this
+// is where the analyzer keeps its teeth, since a unit-local helper
+// that provably does not cancel leaves the obligation with the caller —
+// and every other operand is scanned recursively.
+func handleCancelCall(pass *Pass, call *ast.CallExpr, held pathState, deferred bool) {
+	// Direct cancel(): the callee is a held object.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if _, ok := held[obj]; ok {
+				delete(held, obj)
+			}
+		}
+	} else {
+		scanCancelNode(pass, call.Fun, held, deferred)
+	}
+	fn := calleeFunc(pass, call)
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			scanCancelNode(pass, arg, held, deferred)
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if _, isHeld := held[obj]; !isHeld {
+			continue
+		}
+		if fn != nil && pass.InUnit(fn) {
+			// The callee's body is known: only a CancelsParams fact
+			// discharges; otherwise the helper provably does not cancel
+			// on all paths and the obligation stays with the caller.
+			if intsContain(pass.Facts.Of(fn).CancelsParams, paramIndexFor(fn, i)) {
+				delete(held, obj)
+			}
+		} else {
+			// Unknown callee: conservative ownership transfer.
+			delete(held, obj)
+		}
+	}
+}
+
+// transferMentioned discharges every held obligation whose object is
+// referenced inside n (ownership moved somewhere we cannot track).
+func transferMentioned(pass *Pass, n ast.Node, held pathState) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				delete(held, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxStores flags request-scoped contexts escaping into longer-
+// lived storage: assignments of a tainted context into a struct field,
+// a map element, or a package-level variable. Composite literals are
+// allowed — serve.go packages the ctx into per-call option structs
+// (sssp.Options{Ctx: ctx}) that die with the request.
+func checkCtxStores(pass *Pass, fd *ast.FuncDecl) {
+	// Seed: locals holding r.Context() (or a derived context: the
+	// results of context.With* on a tainted parent). A plain context
+	// parameter is NOT tainted — passing a ctx down and parking it in a
+	// struct is legitimate cancellation plumbing (obs.Canceled carries
+	// one); the contract is specifically about *request* contexts, whose
+	// lifetime ends with the handler.
+	tainted := map[types.Object]bool{}
+	// Two passes so derivation chains settle regardless of order.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fromReq := isRequestContextCall(pass, call)
+			derived := isContextWith(pass, call) && len(call.Args) > 0 && exprTainted(pass, call.Args[0], tainted)
+			if !fromReq && !derived {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					tainted[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if !exprTainted(pass, as.Rhs[i], tainted) {
+				continue
+			}
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr:
+				pass.Reportf(as.Pos(), "request context stored in %s outlives the handler", exprString(l))
+			case *ast.IndexExpr:
+				pass.Reportf(as.Pos(), "request context stored in map/slice element outlives the handler")
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[l]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+					pass.Reportf(as.Pos(), "request context stored in package variable %s outlives the handler", l.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func exprTainted(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && tainted[obj]
+}
+
+// isRequestContextCall matches `r.Context()` for *http.Request.
+func isRequestContextCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Name() == "Context" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "net/http"
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

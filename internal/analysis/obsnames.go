@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// recorderWriteMethods are the obs.Recorder methods whose first
+// argument is a metric name being written; read-side methods
+// (HistSummary, Snapshot, ...) take arbitrary names by design.
+var recorderWriteMethods = map[string]bool{
+	"Inc":             true,
+	"Add":             true,
+	"SetGauge":        true,
+	"Observe":         true,
+	"ObserveSince":    true,
+	"ObserveDuration": true,
+}
+
+// ObsNames pins instrumentation to the well-known-names registry
+// (internal/obs/names.go + obs.go, DESIGN.md §10): every Recorder
+// write call's name argument must resolve to a registry constant —
+// directly, through a local variable, or through a helper function
+// with the MetricNameFunc fact (cmd/servedload's histFor) — and,
+// in reverse, every registry constant must still be used by some
+// instrumentation in the unit, so the registry cannot drift away from
+// the code in either direction.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc: "obsnames: metric names must resolve to the obs well-known-names " +
+		"registry, and registry constants must not go unused",
+	Run:    runObsNames,
+	Finish: finishObsNames,
+}
+
+func runObsNames(pass *Pass) error {
+	// The obs package itself mints the names; everything else consumes
+	// them.
+	if pass.Pkg.Name() == "obs" || pass.unit == nil || len(pass.unit.registry) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isRecorderWrite(pass, call) || len(call.Args) == 0 {
+					return true
+				}
+				checkMetricName(pass, fd.Body, call.Args[0])
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isRecorderWrite reports a call to a write method of obs.Recorder.
+func isRecorderWrite(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !recorderWriteMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recorder" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "obs"
+}
+
+// checkMetricName resolves one name argument.
+func checkMetricName(pass *Pass, body *ast.BlockStmt, arg ast.Expr) {
+	reg := pass.unit.registry
+	// Constant (registry const, or a literal — the drift case).
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		if s, err := strconvUnquoteConst(tv.Value.ExactString()); err == nil {
+			if !reg[s] {
+				pass.Reportf(arg.Pos(), "metric name %q is not in the obs well-known-names registry", s)
+			}
+		}
+		return
+	}
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass, x); fn != nil && pass.InUnit(fn) &&
+			pass.Facts.Of(fn).MetricNameFunc {
+			return
+		}
+		pass.Reportf(arg.Pos(), "metric name is computed by a function not known to return registry names")
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return
+		}
+		if resolveNameVar(pass, body, obj) {
+			return
+		}
+		pass.Reportf(arg.Pos(), "metric name variable %s does not resolve to the obs well-known-names registry", x.Name)
+	default:
+		pass.Reportf(arg.Pos(), "metric name does not resolve to the obs well-known-names registry")
+	}
+}
+
+// resolveNameVar reports whether every assignment to obj inside body
+// resolves to a registry name (constant or fact-carrying call). A
+// variable with no assignment in the body (a parameter) does not
+// resolve — callers should pass constants or use a MetricNameFunc
+// helper.
+func resolveNameVar(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	reg := pass.unit.registry
+	sources := 0
+	allGood := true
+	resolveExpr := func(e ast.Expr) bool {
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+			s, err := strconvUnquoteConst(tv.Value.ExactString())
+			return err == nil && reg[s]
+		}
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && pass.InUnit(fn) {
+				return pass.Facts.Of(fn).MetricNameFunc
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+					sources++
+					if !resolveExpr(st.Rhs[i]) {
+						allGood = false
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if pass.TypesInfo.Defs[id] == obj && i < len(st.Values) {
+					sources++
+					if !resolveExpr(st.Values[i]) {
+						allGood = false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sources > 0 && allGood
+}
+
+// finishObsNames is the reverse direction, run once over the whole
+// unit: a registry constant that no instrumentation references anymore
+// is drift — the metric was renamed or deleted but the registry kept
+// the name. WellKnownNames() itself references every constant by
+// design and is excluded; so is the obs package's own plumbing.
+func finishObsNames(u *Unit, reportf func(pos token.Pos, format string, args ...any)) {
+	// Only meaningful when the unit actually contains instrumentation
+	// consumers: a unit of pure obs packages (or fixtures without an obs
+	// import) should not flag the whole registry.
+	hasConsumer := false
+	var obsPkgs []*Package
+	for _, pkg := range u.Pkgs {
+		if pkg.Types.Name() == "obs" {
+			obsPkgs = append(obsPkgs, pkg)
+			continue
+		}
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == "obs" {
+				hasConsumer = true
+			}
+		}
+	}
+	if !hasConsumer || len(obsPkgs) == 0 {
+		return
+	}
+	// Collect the registry constants declared by the unit's obs packages.
+	// Keys are "pkgpath.Name" strings, not object pointers: a reference
+	// from another package resolves through the export-data importer to
+	// a DIFFERENT *types.Const instance than the syntax-loaded one.
+	type constInfo struct {
+		name string
+		pos  token.Pos
+	}
+	consts := map[string]constInfo{}
+	for _, pkg := range obsPkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !c.Exported() || !isMetricNameConst(name) {
+				continue
+			}
+			if basic, ok := c.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				consts[pkg.Path+"."+name] = constInfo{name: name, pos: c.Pos()}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return
+	}
+	// Cross out every constant referenced anywhere in the unit outside
+	// WellKnownNames' own body.
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "WellKnownNames" {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					c, ok := pkg.Info.Uses[id].(*types.Const)
+					if !ok || c.Pkg() == nil {
+						return true
+					}
+					delete(consts, c.Pkg().Path()+"."+c.Name())
+					return true
+				})
+			}
+		}
+	}
+	ordered := make([]constInfo, 0, len(consts))
+	for _, c := range consts {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := u.Fset.Position(ordered[i].pos), u.Fset.Position(ordered[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, c := range ordered {
+		reportf(c.pos, "registry constant %s is not referenced by any instrumentation in this build (drift)", c.name)
+	}
+}

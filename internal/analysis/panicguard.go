@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -60,7 +61,12 @@ func checkWorkerSpawn(pass *Pass, gs *ast.GoStmt) {
 			pass.Reportf(gs.Pos(),
 				"caller-supplied function %s spawned directly with go: wrap it in a closure with a deferred recoverPanic so its panics are contained",
 				funcValueName(gs.Call.Fun))
+			return
 		}
+		// go h(fn): a named helper spawned directly. If the unit knows
+		// h's body and h does not install the recover itself, any
+		// func-value argument rides into the goroutine unguarded.
+		reportUnguardedFuncArgs(pass, gs.Call, gs.Pos())
 		return
 	}
 	if hasRecoverDefer(fl.Body) {
@@ -78,9 +84,33 @@ func checkWorkerSpawn(pass *Pass, gs *ast.GoStmt) {
 			pass.Reportf(call.Pos(),
 				"caller-supplied function %s called in a worker goroutine without a deferred recoverPanic; a panic here crashes the process",
 				funcValueName(call.Fun))
+			return true
 		}
+		// h(fn) inside the unguarded body: the helper's InstallsRecover
+		// fact decides whether the callback is contained in h's frame.
+		reportUnguardedFuncArgs(pass, call, call.Pos())
 		return true
 	})
+}
+
+// reportUnguardedFuncArgs flags func-value arguments handed to a unit
+// function that provably does not install the recover wrapper, in a
+// goroutine context with no recover of its own. Callees outside the
+// unit stay un-flagged (the lexical analyzer's old stance: no evidence
+// either way), and callees with the InstallsRecover fact are safe — the
+// fixtures' mutation test flips factsEnabled to prove both edges hold.
+func reportUnguardedFuncArgs(pass *Pass, call *ast.CallExpr, pos token.Pos) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !pass.InUnit(fn) || pass.Facts.Of(fn).InstallsRecover {
+		return
+	}
+	for _, arg := range call.Args {
+		if isFuncValue(pass, arg) {
+			pass.Reportf(pos,
+				"caller-supplied function %s reaches %s in a worker goroutine and neither installs a recoverPanic; a panic here crashes the process",
+				funcValueName(arg), fn.Name())
+		}
+	}
 }
 
 // hasRecoverDefer reports whether the goroutine body's top-level

@@ -13,6 +13,10 @@ func All() []*Analyzer {
 		TagDrift,
 		NoRandTime,
 		PanicGuard,
+		CtxGuard,
+		SemaBalance,
+		ObsNames,
+		StatusMap,
 	}
 }
 

@@ -279,9 +279,12 @@ func (w *scratchWalker) releaseTarget(call *ast.CallExpr) types.Object {
 	return obj
 }
 
-// scanExprs clears obligations for scratch objects that escape by
-// being passed to a call or stored somewhere (ownership transfer).
-// Field selection (s.S) is a use, not a transfer.
+// scanExprs resolves scratch objects passed to calls. A callee outside
+// the unit is an ownership transfer (old lexical behavior); a callee
+// whose body the unit knows discharges the obligation only when its
+// ReleasesScratch fact covers that parameter — a unit helper that
+// provably keeps the scratch alive leaves the Release duty with the
+// caller. Field selection (s.S) is a use, not a transfer.
 func (w *scratchWalker) scanExprs(exprs []ast.Expr, held map[types.Object]*scratchObligation) {
 	for _, e := range exprs {
 		ast.Inspect(e, func(n ast.Node) bool {
@@ -289,9 +292,20 @@ func (w *scratchWalker) scanExprs(exprs []ast.Expr, held map[types.Object]*scrat
 			if !ok {
 				return true
 			}
-			for _, arg := range call.Args {
-				if obj := w.identObj(arg); obj != nil {
-					delete(held, obj) // passed along: ownership transfer
+			fn := calleeFunc(w.pass, call)
+			for i, arg := range call.Args {
+				obj := w.identObj(arg)
+				if obj == nil {
+					continue
+				}
+				if fn != nil && w.pass.InUnit(fn) {
+					if intsContain(w.pass.Facts.Of(fn).ReleasesScratch, paramIndexFor(fn, i)) {
+						delete(held, obj)
+					}
+					// else: the helper is known not to release it — the
+					// obligation stays here.
+				} else {
+					delete(held, obj) // unknown callee: ownership transfer
 				}
 			}
 			return true

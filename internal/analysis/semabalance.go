@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SemaBalance enforces admission-control pairing in serve packages
+// (DESIGN.md §12–§13): every successful semaphore acquire — a direct
+// `s.adm.acquire(ctx)` or an admit-style helper returning a release
+// closure (known through the ReleaseResult fact) — must be balanced by
+// a release on every panic-free path: called, deferred, handed to a
+// releasing helper (SemaReleaseParams fact), or captured by an escaping
+// closure that releases it (the coalescer's leader-cancel/
+// follower-retry completion paths).
+var SemaBalance = &Analyzer{
+	Name: "semabalance",
+	Doc: "semabalance: admission-semaphore acquires must be released on " +
+		"every path, across serve's helper calls",
+	Run: runSemaBalance,
+}
+
+func runSemaBalance(pass *Pass) error {
+	// The acquire/release protocol is the serving layer's; other
+	// packages use Scratch (scratchpair) or raw channels.
+	if pass.Pkg.Name() != "serve" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSemaBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkSemaBody(pass *Pass, body *ast.BlockStmt) {
+	// Each func literal is its own balance scope (a goroutine body that
+	// acquires must also release).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkSemaBody(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+
+	sim := &pathSim{pass: pass}
+	sim.onStmt = func(s ast.Stmt, held pathState) {
+		if as, ok := s.(*ast.AssignStmt); ok && semaAssign(pass, as, held) {
+			return
+		}
+		scanSemaNode(pass, s, held)
+	}
+	sim.onDefer = func(call *ast.CallExpr, held pathState) {
+		scanSemaNode(pass, call, held)
+	}
+	sim.onExpr = func(e ast.Expr, held pathState) {
+		scanSemaNode(pass, e, held)
+	}
+	sim.onExit = func(ret *ast.ReturnStmt, pos token.Pos, held pathState) {
+		for _, ob := range held {
+			if ob.info.leaked {
+				continue
+			}
+			ob.info.leaked = true
+			pass.Reportf(ob.info.pos, "%s is not released on every path", ob.info.name)
+		}
+	}
+	sim.walkBody(body, pathState{})
+}
+
+// semaAssign recognizes the two acquire shapes and creates obligations;
+// reports true when the assignment was fully interpreted.
+func semaAssign(pass *Pass, as *ast.AssignStmt, held pathState) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// Direct acquire: `err := s.adm.acquire(ctx)` — the obligation keys
+	// on the semaphore value itself (the last selector component), gated
+	// on the error result.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		(sel.Sel.Name == "acquire" || sel.Sel.Name == "Acquire") {
+		if key := lastComponentObj(pass, sel.X); key != nil {
+			ob := &pathOb{info: &obInfo{
+				pos:  call.Pos(),
+				name: "semaphore acquire on " + exprString(ast.Unparen(sel.X)),
+			}}
+			if len(as.Lhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if obj := lhsObj(pass, id); obj != nil && isErrorType(obj.Type()) {
+						ob.cond = obj
+					}
+				}
+			}
+			held[key] = ob
+			return true
+		}
+	}
+	// Admit-style helper: `release, ok := s.admit(ctx, w)` where the
+	// callee's ReleaseResult fact says which result is the release
+	// closure and which companion gates it.
+	fn := calleeFunc(pass, call)
+	if fn == nil || !pass.InUnit(fn) {
+		return false
+	}
+	ff := pass.Facts.Of(fn)
+	if ff.ReleaseResult == 0 || ff.ReleaseResult > len(as.Lhs) {
+		return false
+	}
+	relExpr := as.Lhs[ff.ReleaseResult-1]
+	id, ok := relExpr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		pass.Reportf(as.Pos(), "release func returned by %s is discarded", fn.Name())
+		return true
+	}
+	obj := lhsObj(pass, id)
+	if obj == nil {
+		return false
+	}
+	ob := &pathOb{info: &obInfo{
+		pos:  as.Pos(),
+		name: "release func returned by " + fn.Name(),
+	}}
+	if ff.OKResult > 0 && ff.OKResult <= len(as.Lhs) {
+		if gid, ok := as.Lhs[ff.OKResult-1].(*ast.Ident); ok {
+			if g := lhsObj(pass, gid); g != nil {
+				ob.cond = g
+			}
+		}
+	} else if ff.ErrResult > 0 && ff.ErrResult <= len(as.Lhs) {
+		if gid, ok := as.Lhs[ff.ErrResult-1].(*ast.Ident); ok {
+			if g := lhsObj(pass, gid); g != nil {
+				ob.cond = g
+			}
+		}
+	}
+	held[obj] = ob
+	return true
+}
+
+func lhsObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// lastComponentObj resolves the object of the last selector component
+// (`s.adm` -> the adm field var; `adm` -> the adm var), which is stable
+// across every mention of the same semaphore in a body.
+func lastComponentObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// scanSemaNode interprets one statement/expression against the held
+// obligations.
+func scanSemaNode(pass *Pass, n ast.Node, held pathState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			handleSemaCall(pass, x, held)
+			return false
+		case *ast.FuncLit:
+			// An escaping closure that releases a held semaphore owns the
+			// completion path now (coalesce leader/followers); one that
+			// merely mentions the release func is a transfer.
+			for key := range held {
+				if funcLitReleasesObj(pass, x, key) || litMentions(pass, x, key) {
+					delete(held, key)
+				}
+			}
+			return false
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				delete(held, obj)
+			}
+		}
+		return true
+	})
+}
+
+func handleSemaCall(pass *Pass, call *ast.CallExpr, held pathState) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// `release()` where release is the held closure.
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if _, ok := held[obj]; ok {
+				delete(held, obj)
+			}
+		}
+	case *ast.SelectorExpr:
+		// `s.adm.release()` keyed on the semaphore component.
+		if fun.Sel.Name == "release" || fun.Sel.Name == "Release" {
+			if key := lastComponentObj(pass, fun.X); key != nil {
+				delete(held, key)
+			}
+		} else {
+			scanSemaNode(pass, fun.X, held)
+		}
+	default:
+		scanSemaNode(pass, call.Fun, held)
+	}
+	fn := calleeFunc(pass, call)
+	for i, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			for key := range held {
+				if funcLitReleasesObj(pass, lit, key) || litMentions(pass, lit, key) {
+					delete(held, key)
+				}
+			}
+			continue
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			scanSemaNode(pass, arg, held)
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if _, isHeld := held[obj]; !isHeld {
+			continue
+		}
+		if fn != nil && pass.InUnit(fn) {
+			// Known helper: only a SemaReleaseParams fact discharges.
+			if intsContain(pass.Facts.Of(fn).SemaReleaseParams, paramIndexFor(fn, i)) {
+				delete(held, obj)
+			}
+		} else {
+			delete(held, obj)
+		}
+	}
+}
+
+// funcLitReleasesObj reports whether the literal's body releases key:
+// calls it directly (a release closure) or calls release/Release on it
+// (a semaphore).
+func funcLitReleasesObj(pass *Pass, lit *ast.FuncLit, key types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[fun] == key {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if (fun.Sel.Name == "release" || fun.Sel.Name == "Release") &&
+				lastComponentObj(pass, fun.X) == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func litMentions(pass *Pass, lit *ast.FuncLit, key types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == key {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

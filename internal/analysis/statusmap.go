@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StatusMap checks the serving layer's error contract (DESIGN.md §12):
+// every typed error a serve package exports (package-level `var ErrX =
+// ...` of type error) must map to exactly one HTTP status across the
+// package's handlers. A new typed error with no `errors.Is` branch
+// writing a status is a finding (clients would see it as a generic
+// 500/504), and two branches mapping the same error to different
+// statuses is a finding (the contract forked).
+var StatusMap = &Analyzer{
+	Name: "statusmap",
+	Doc: "statusmap: each typed serve error must map to exactly one " +
+		"HTTP status",
+	Run: runStatusMap,
+}
+
+// statusWriteFuncs maps helper names to the argument index carrying the
+// status code: serve's failJSON/writeJSON(w, status, ...) and stdlib
+// http.Error(w, msg, status) / w.WriteHeader(status).
+var statusWriteFuncs = map[string]int{
+	"failJSON":    1,
+	"writeJSON":   1,
+	"Error":       2,
+	"WriteHeader": 0,
+}
+
+func runStatusMap(pass *Pass) error {
+	if pass.Pkg.Name() != "serve" {
+		return nil
+	}
+	// The package's typed errors.
+	errVars := map[types.Object]token.Pos{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !isErrorType(v.Type()) {
+			continue
+		}
+		errVars[v] = v.Pos()
+	}
+	if len(errVars) == 0 {
+		return nil
+	}
+	// statuses[errObj] = distinct statuses written in errors.Is branches,
+	// with one representative position each.
+	type mapping struct {
+		status int
+		pos    token.Pos
+	}
+	statuses := map[types.Object][]mapping{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var matched types.Object
+			var body []ast.Stmt
+			switch st := n.(type) {
+			case *ast.IfStmt:
+				matched = errorsIsTarget(pass, st.Cond, errVars)
+				if matched != nil {
+					body = st.Body.List
+				}
+			case *ast.CaseClause:
+				for _, e := range st.List {
+					if obj := errorsIsTarget(pass, e, errVars); obj != nil {
+						matched = obj
+						break
+					}
+				}
+				if matched != nil {
+					body = st.Body
+				}
+			}
+			if matched == nil {
+				return true
+			}
+			for _, status := range statusWrites(pass, body) {
+				dup := false
+				for _, m := range statuses[matched] {
+					if m.status == status.status {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					statuses[matched] = append(statuses[matched], mapping{status.status, status.pos})
+				}
+			}
+			return true
+		})
+	}
+	ordered := make([]types.Object, 0, len(errVars))
+	for obj := range errVars {
+		ordered = append(ordered, obj)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name() < ordered[j].Name() })
+	for _, obj := range ordered {
+		ms := statuses[obj]
+		switch {
+		case len(ms) == 0:
+			pass.Reportf(errVars[obj], "typed error %s has no HTTP status mapping in this package", obj.Name())
+		case len(ms) > 1:
+			codes := make([]string, len(ms))
+			for i, m := range ms {
+				codes[i] = strconv.Itoa(m.status)
+			}
+			pass.Reportf(ms[1].pos, "typed error %s maps to multiple HTTP statuses (%s)", obj.Name(), strings.Join(codes, ", "))
+		}
+	}
+	return nil
+}
+
+// errorsIsTarget reports the typed error tested by an
+// `errors.Is(err, ErrX)` call anywhere inside cond.
+func errorsIsTarget(pass *Pass, cond ast.Expr, errVars map[types.Object]token.Pos) types.Object {
+	var found types.Object
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Name() != "Is" || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+			return true
+		}
+		if len(call.Args) != 2 {
+			return true
+		}
+		obj := rootIdentObj(pass, call.Args[1])
+		if obj == nil {
+			if sel, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+				obj = pass.TypesInfo.Uses[sel.Sel]
+			}
+		} else if sel, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+			// pkg-qualified reference (serve.ErrQueueFull from a sibling):
+			// the selector target, not the package ident, is the error.
+			obj = pass.TypesInfo.Uses[sel.Sel]
+		}
+		if _, ok := errVars[obj]; ok {
+			found = obj
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+type statusWrite struct {
+	status int
+	pos    token.Pos
+}
+
+// statusWrites collects the constant HTTP statuses written inside the
+// branch body (failJSON/writeJSON/http.Error/WriteHeader).
+func statusWrites(pass *Pass, body []ast.Stmt) []statusWrite {
+	var out []statusWrite
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			default:
+				return true
+			}
+			argIdx, ok := statusWriteFuncs[name]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v, err := strconv.Atoi(tv.Value.ExactString())
+			if err != nil || v < 100 || v > 599 {
+				return true
+			}
+			out = append(out, statusWrite{status: v, pos: call.Args[argIdx].Pos()})
+			return true
+		})
+	}
+	return out
+}

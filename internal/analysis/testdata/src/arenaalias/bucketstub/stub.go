@@ -1,0 +1,26 @@
+// Package bucketstub is the shared arena-owning structure for the
+// interprocedural arenaalias fixtures: the analyzer matches producer
+// and invalidator calls by method name, and the exported helpers carry
+// ArenaResults/InvalidatesArena facts across the package boundary.
+package bucketstub
+
+type B struct {
+	arena []uint32
+}
+
+func (b *B) NextBucket() (uint32, []uint32) {
+	return 0, b.arena
+}
+
+func (b *B) UpdateBuckets(ids []uint32) {}
+
+// DrainNext tail-returns the producer: callers binding its results arm
+// an arena slice (ArenaResults/ArenaSliceIdx facts).
+func DrainNext(b *B) (uint32, []uint32) {
+	return b.NextBucket()
+}
+
+// Touch invalidates the structure it is handed (InvalidatesArena).
+func Touch(b *B) {
+	b.UpdateBuckets(nil)
+}

@@ -1,0 +1,57 @@
+// Interprocedural fixtures for arenaalias: producer wrappers and
+// invalidating helpers — same-package, chained through two hops, and
+// across a package boundary — all resolved through the fact store.
+package interproc
+
+import "arenaalias/bucketstub"
+
+func use(x uint32) {}
+
+// drainNext and touch are same-package wrappers around the producer
+// and an invalidator.
+func drainNext(b *bucketstub.B) (uint32, []uint32) {
+	return b.NextBucket()
+}
+
+func touch(b *bucketstub.B) {
+	b.UpdateBuckets(nil)
+}
+
+// touchChain invalidates through two hops: the fixpoint propagates the
+// fact up the helper chain.
+func touchChain(b *bucketstub.B) {
+	touch(b)
+}
+
+func samePackage(b *bucketstub.B) {
+	_, ids := drainNext(b)
+	touch(b)
+	use(ids[0]) // want "ids aliases the bucket arena"
+}
+
+func samePackageChained(b *bucketstub.B) {
+	_, ids := drainNext(b)
+	touchChain(b)
+	use(ids[0]) // want "ids aliases the bucket arena"
+}
+
+func crossPackage(b *bucketstub.B) {
+	_, ids := bucketstub.DrainNext(b)
+	bucketstub.Touch(b)
+	use(ids[0]) // want "ids aliases the bucket arena"
+}
+
+// cleanCopyOut copies before the invalidating helper call.
+func cleanCopyOut(b *bucketstub.B) []uint32 {
+	_, ids := drainNext(b)
+	out := append([]uint32(nil), ids...)
+	touch(b)
+	return out
+}
+
+// cleanHeaderOnly: len reads the slice header, not the arena.
+func cleanHeaderOnly(b *bucketstub.B) int {
+	_, ids := drainNext(b)
+	touch(b)
+	return len(ids)
+}

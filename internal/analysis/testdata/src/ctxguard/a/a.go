@@ -1,0 +1,90 @@
+// Fixture for the ctxguard analyzer, cancel-pairing direction: every
+// context.WithCancel/WithTimeout/WithDeadline must have its cancel
+// func called on every path. Helpers discharge only through the
+// CancelsParams fact — a unit-local helper that provably does not
+// cancel leaves the obligation with the caller.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// leakOnOnePath cancels on the early return but not the fall-through.
+func leakOnOnePath(d time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), d) // want "cancel func of context.WithTimeout is not called on every path"
+	if d > 0 {
+		cancel()
+		return
+	}
+	_ = ctx
+}
+
+// discard throws the cancel func away at the call site.
+func discard() {
+	ctx, _ := context.WithCancel(context.Background()) // want "cancel func of context.WithCancel is discarded"
+	_ = ctx
+}
+
+// cleanDefer: a deferred cancel covers every path.
+func cleanDefer(d time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	_ = ctx
+}
+
+// cleanBothPaths cancels explicitly on each continuation.
+func cleanBothPaths(b bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if b {
+		cancel()
+		return
+	}
+	cancel()
+	_ = ctx
+}
+
+var cancels = map[int]context.CancelFunc{}
+
+// cleanTransferToMap: storing the cancel func moves ownership
+// (serve.go's qCancels registry shape).
+func cleanTransferToMap(id int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancels[id] = cancel
+	_ = ctx
+}
+
+// cleanTransferToClosure: a closure capturing the cancel owns it now
+// (beginQuery's end closure).
+func cleanTransferToClosure(run func(func())) {
+	ctx, cancel := context.WithCancel(context.Background())
+	run(func() { cancel() })
+	_ = ctx
+}
+
+// stopIt cancels the func it is handed on every path: callers
+// discharge through its CancelsParams fact.
+func stopIt(c context.CancelFunc) {
+	c()
+}
+
+// neverCancels provably does not cancel; passing a held cancel to it
+// keeps the obligation with the caller.
+func neverCancels(c context.CancelFunc) {
+	_ = c
+}
+
+// cleanViaHelper discharges through stopIt's fact.
+func cleanViaHelper() {
+	ctx, cancel := context.WithCancel(context.Background())
+	stopIt(cancel)
+	_ = ctx
+}
+
+// leakViaHelper: the unit knows neverCancels' body, so handing the
+// cancel over is not a discharge.
+func leakViaHelper() {
+	ctx, cancel := context.WithCancel(context.Background()) // want "cancel func of context.WithCancel is not called on every path"
+	neverCancels(cancel)
+	_ = ctx
+}

@@ -1,0 +1,24 @@
+// Cross-package half of the cancel-pairing fixtures: the helpers live
+// in ctxguard/helper and resolve through exported facts.
+package a
+
+import (
+	"context"
+
+	"ctxguard/helper"
+)
+
+// cleanViaCrossHelper discharges through helper.Stop's fact.
+func cleanViaCrossHelper() {
+	ctx, cancel := context.WithCancel(context.Background())
+	helper.Stop(cancel)
+	_ = ctx
+}
+
+// leakViaCrossHelper: helper.Keep is in the unit and provably does not
+// cancel, so the obligation stays here.
+func leakViaCrossHelper() {
+	ctx, cancel := context.WithCancel(context.Background()) // want "cancel func of context.WithCancel is not called on every path"
+	helper.Keep(cancel)
+	_ = ctx
+}

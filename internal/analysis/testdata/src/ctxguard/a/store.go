@@ -1,0 +1,50 @@
+// Fixture for the ctxguard analyzer, lifetime direction: a request
+// context (r.Context() or a context derived from it) must not be
+// stored into a struct field, map element, or package variable, where
+// it would outlive the handler. Plain context parameters are not
+// request contexts — parking one in a struct is legitimate plumbing.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+type holder struct {
+	ctx context.Context
+}
+
+type options struct {
+	Ctx context.Context
+}
+
+var globalCtx context.Context
+
+func storeInField(h *holder, r *http.Request) {
+	ctx := r.Context()
+	h.ctx = ctx // want "request context stored in h.ctx outlives the handler"
+}
+
+func storeDerivedInMap(m map[int]context.Context, r *http.Request) {
+	rctx := r.Context()
+	ctx, cancel := context.WithCancel(rctx)
+	defer cancel()
+	m[0] = ctx // want "request context stored in map/slice element outlives the handler"
+}
+
+func storeInGlobal(r *http.Request) {
+	ctx := r.Context()
+	globalCtx = ctx // want "request context stored in package variable globalCtx outlives the handler"
+}
+
+// cleanCompositeLiteral: per-call option structs die with the request.
+func cleanCompositeLiteral(r *http.Request) options {
+	ctx := r.Context()
+	return options{Ctx: ctx}
+}
+
+// cleanPlainParam: a non-request context is legitimate cancellation
+// plumbing (obs.Canceled carries one).
+func cleanPlainParam(h *holder, ctx context.Context) {
+	h.ctx = ctx
+}

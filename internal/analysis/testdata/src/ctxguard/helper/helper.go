@@ -1,0 +1,16 @@
+// Package helper carries the cross-package cancel helpers for the
+// ctxguard fixtures: CancelsParams facts travel across package
+// boundaries with the unit's fact store.
+package helper
+
+import "context"
+
+// Stop cancels the func it is handed on every path (CancelsParams).
+func Stop(c context.CancelFunc) {
+	c()
+}
+
+// Keep provably never cancels: callers keep the obligation.
+func Keep(c context.CancelFunc) {
+	_ = c
+}

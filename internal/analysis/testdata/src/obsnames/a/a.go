@@ -1,0 +1,54 @@
+// Fixture for the obsnames analyzer, forward direction: the name
+// argument of every Recorder write call must resolve to the
+// well-known-names registry — directly, through a local variable, or
+// through a helper carrying the MetricNameFunc fact.
+package a
+
+import "obsnames/obs"
+
+func direct(r *obs.Recorder) {
+	r.Inc(obs.CtrHits)
+	r.Observe(obs.HistLatNs, 1)
+}
+
+func rawLiteral(r *obs.Recorder) {
+	r.Inc("fixture.rogue") // want "metric name .fixture.rogue. is not in the obs well-known-names registry"
+}
+
+// viaVar: a local resolving to a registry constant is fine.
+func viaVar(r *obs.Recorder) {
+	name := obs.GaugeDepth
+	r.Inc(name)
+}
+
+// viaMixedVar: one of the assignments is a rogue literal.
+func viaMixedVar(r *obs.Recorder, rogue bool) {
+	name := obs.CtrHits
+	if rogue {
+		name = "fixture.rogue2"
+	}
+	r.Inc(name) // want "metric name variable name does not resolve to the obs well-known-names registry"
+}
+
+// helperName returns registry constants on every path: MetricNameFunc.
+func helperName(hot bool) string {
+	if hot {
+		return obs.CtrHits
+	}
+	return obs.HistLatNs
+}
+
+// viaHelper discharges through helperName's fact.
+func viaHelper(r *obs.Recorder) {
+	r.Inc(helperName(true))
+}
+
+// viaParam: a parameter has no resolvable source in this body.
+func viaParam(r *obs.Recorder, metric string) {
+	r.Inc(metric) // want "metric name variable metric does not resolve to the obs well-known-names registry"
+}
+
+// readSideUnchecked: read methods take arbitrary names by design.
+func readSideUnchecked(r *obs.Recorder, metric string) int {
+	return r.HistSummary(metric)
+}

@@ -1,0 +1,28 @@
+// Package obs is the fixture registry for the obsnames analyzer: it
+// keys on packages named "obs", their exported Ctr*/Gauge*/Hist*
+// string constants, and the Recorder write methods. CtrOrphan is
+// referenced only by WellKnownNames, which is excluded by design — the
+// reverse (drift) direction flags it.
+package obs
+
+const (
+	CtrHits    = "fixture.hits"
+	GaugeDepth = "fixture.depth"
+	HistLatNs  = "fixture.lat_ns"
+	CtrOrphan  = "fixture.orphan" // want "registry constant CtrOrphan is not referenced by any instrumentation in this build"
+)
+
+type Recorder struct{}
+
+func (r *Recorder) Inc(name string)              {}
+func (r *Recorder) Observe(name string, v int64) {}
+
+// HistSummary is a read-side method: it takes arbitrary names by
+// design and is not checked.
+func (r *Recorder) HistSummary(name string) int { return 0 }
+
+// WellKnownNames references every constant by design; it does not
+// count as instrumentation.
+func WellKnownNames() []string {
+	return []string{CtrHits, GaugeDepth, HistLatNs, CtrOrphan}
+}

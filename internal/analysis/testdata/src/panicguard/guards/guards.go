@@ -1,0 +1,19 @@
+// Package guards carries the cross-package spawn helpers for the
+// panicguard fixtures: InstallsRecover travels as a fact, so the
+// substrate package can spawn these without a local wrapper.
+package guards
+
+func recoverPanic() {
+	recover()
+}
+
+// RunGuarded contains panics from the caller-supplied function.
+func RunGuarded(fn func()) {
+	defer recoverPanic()
+	fn()
+}
+
+// RunBare lets a panic in fn escape the goroutine.
+func RunBare(fn func()) {
+	fn()
+}

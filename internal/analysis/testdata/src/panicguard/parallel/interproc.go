@@ -1,0 +1,38 @@
+// Interprocedural fixtures for panicguard: a helper spawned with (or
+// called from) a worker goroutine carries caller-supplied function
+// values into the goroutine; only its InstallsRecover fact makes that
+// safe — same-package and across packages.
+package parallel
+
+import "panicguard/guards"
+
+func runTask(fn func()) {
+	fn()
+}
+
+func runGuarded(fn func()) {
+	defer recoverPanic()
+	fn()
+}
+
+func spawnViaHelper(fn func()) {
+	go runTask(fn) // want "caller-supplied function fn reaches runTask in a worker goroutine"
+}
+
+func spawnViaGuardedHelper(fn func()) {
+	go runGuarded(fn)
+}
+
+func spawnBodyHelper(fn func()) {
+	go func() {
+		runTask(fn) // want "caller-supplied function fn reaches runTask in a worker goroutine"
+	}()
+}
+
+func spawnViaCrossHelper(fn func()) {
+	go guards.RunBare(fn) // want "caller-supplied function fn reaches RunBare in a worker goroutine"
+}
+
+func spawnViaCrossGuarded(fn func()) {
+	go guards.RunGuarded(fn)
+}

@@ -1,0 +1,43 @@
+// Interprocedural fixtures for scratchpair: a unit-local helper call
+// discharges the Release obligation only when its ReleasesScratch fact
+// covers the parameter — same-package and across packages.
+package a
+
+import (
+	"scratchpair/helpers"
+	"scratchpair/parallel"
+)
+
+// fill uses the scratch but provably neither releases nor sinks it.
+func fill(s *parallel.Scratch[int]) {
+	for i := range s.S {
+		s.S[i] = 0
+	}
+}
+
+// leakViaFill: the unit knows fill's body keeps the scratch alive, so
+// the Release duty stays with the caller.
+func leakViaFill(n int) {
+	s := parallel.GetScratch[int](n) // want "scratch buffer s is not Released on every return path"
+	fill(s)
+}
+
+// cleanFillThenRelease: the helper call does not discharge, the
+// explicit Release does.
+func cleanFillThenRelease(n int) {
+	s := parallel.GetScratch[int](n)
+	fill(s)
+	s.Release()
+}
+
+// cleanViaCrossHelper discharges through the cross-package fact.
+func cleanViaCrossHelper(n int) {
+	s := parallel.GetScratch[int](n)
+	helpers.ReleaseInts(s)
+}
+
+// leakViaCrossFill keeps the duty across the package boundary too.
+func leakViaCrossFill(n int) {
+	s := parallel.GetScratch[int](n) // want "scratch buffer s is not Released on every return path"
+	helpers.Fill(s)
+}

@@ -1,0 +1,18 @@
+// Package helpers carries the cross-package scratch helpers for the
+// scratchpair fixtures: the ReleasesScratch fact decides whether a
+// call discharges the caller's Release obligation.
+package helpers
+
+import "scratchpair/parallel"
+
+// ReleaseInts releases the scratch it is handed on every path.
+func ReleaseInts(s *parallel.Scratch[int]) {
+	s.Release()
+}
+
+// Fill uses the scratch but provably neither releases nor sinks it.
+func Fill(s *parallel.Scratch[int]) {
+	for i := range s.S {
+		s.S[i] = 0
+	}
+}

@@ -1,0 +1,80 @@
+// Fixture for the semabalance analyzer: admission-semaphore acquires
+// in a serve package must be released on every panic-free path. The
+// package is named "serve" because the analyzer keys on the package
+// name; the admission stub mirrors internal/serve's gate.
+package serve
+
+import "context"
+
+type admission struct {
+	tokens chan struct{}
+}
+
+func newAdmission(n int) *admission {
+	return &admission{tokens: make(chan struct{}, n)}
+}
+
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.tokens }
+
+type server struct {
+	adm *admission
+}
+
+// leakEarlyReturn releases on the happy path but not the early return.
+func (s *server) leakEarlyReturn(ctx context.Context, fail bool) error {
+	if err := s.adm.acquire(ctx); err != nil { // want "semaphore acquire on s.adm is not released on every path"
+		return err
+	}
+	if fail {
+		return nil
+	}
+	s.adm.release()
+	return nil
+}
+
+// leakUnchecked never checks the verdict and never releases.
+func (s *server) leakUnchecked(ctx context.Context) {
+	err := s.adm.acquire(ctx) // want "semaphore acquire on s.adm is not released on every path"
+	_ = err
+}
+
+// cleanDefer: a deferred release covers every path past the gate.
+func (s *server) cleanDefer(ctx context.Context) error {
+	if err := s.adm.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.adm.release()
+	return nil
+}
+
+// cleanBranches releases explicitly on each continuation.
+func (s *server) cleanBranches(ctx context.Context, fast bool) error {
+	if err := s.adm.acquire(ctx); err != nil {
+		return err
+	}
+	if fast {
+		s.adm.release()
+		return nil
+	}
+	s.adm.release()
+	return nil
+}
+
+// cleanClosureHandOff: an escaping closure that releases owns the
+// completion path (the coalescer's leader-cancel/follower shape).
+func (s *server) cleanClosureHandOff(ctx context.Context, enqueue func(func())) error {
+	if err := s.adm.acquire(ctx); err != nil {
+		return err
+	}
+	enqueue(func() { s.adm.release() })
+	return nil
+}

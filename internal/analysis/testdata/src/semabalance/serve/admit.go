@@ -1,0 +1,42 @@
+// Admit-style half of the semabalance fixtures: a helper that
+// acquires and returns a release closure creates an obligation at its
+// call sites, shaped by the ReleaseResult/OKResult facts.
+package serve
+
+import "context"
+
+// admit acquires and returns the release closure gated by ok —
+// internal/serve's (*Server).admit shape.
+func (s *server) admit(ctx context.Context) (func(), bool) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, false
+	}
+	return func() { s.adm.release() }, true
+}
+
+// cleanAdmit pairs the closure with a defer on the success path.
+func (s *server) cleanAdmit(ctx context.Context) {
+	release, ok := s.admit(ctx)
+	if !ok {
+		return
+	}
+	defer release()
+}
+
+// leakAdmit drops the closure on one success continuation.
+func (s *server) leakAdmit(ctx context.Context, fail bool) {
+	release, ok := s.admit(ctx) // want "release func returned by admit is not released on every path"
+	if !ok {
+		return
+	}
+	if fail {
+		return
+	}
+	release()
+}
+
+// discardAdmit throws the closure away.
+func (s *server) discardAdmit(ctx context.Context) {
+	_, ok := s.admit(ctx) // want "release func returned by admit is discarded"
+	_ = ok
+}

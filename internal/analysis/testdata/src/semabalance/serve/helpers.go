@@ -1,0 +1,38 @@
+// Helper-call half of the semabalance fixtures: handing a held
+// semaphore to a unit function discharges only through its
+// SemaReleaseParams fact.
+package serve
+
+import "context"
+
+// finish releases the admission it is handed on every path
+// (SemaReleaseParams).
+func finish(a *admission) {
+	a.release()
+}
+
+// note provably never releases: callers keep the obligation.
+func note(a *admission) {
+	_ = a
+}
+
+// cleanViaHelper discharges through finish's fact.
+func cleanViaHelper(ctx context.Context) error {
+	adm := newAdmission(1)
+	if err := adm.acquire(ctx); err != nil {
+		return err
+	}
+	finish(adm)
+	return nil
+}
+
+// leakViaHelper: the unit knows note's body, so the release duty
+// stays here.
+func leakViaHelper(ctx context.Context) error {
+	adm := newAdmission(1)
+	if err := adm.acquire(ctx); err != nil { // want "semaphore acquire on adm is not released on every path"
+		return err
+	}
+	note(adm)
+	return nil
+}

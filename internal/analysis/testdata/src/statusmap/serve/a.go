@@ -1,0 +1,50 @@
+// Fixture for the statusmap analyzer: every typed error a serve
+// package exports must map to exactly one HTTP status across its
+// errors.Is branches. The package is named "serve" (the analyzer keys
+// on the name); failJSON mirrors internal/serve's writer helper.
+package serve
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	ErrQueueFull = errors.New("queue full")
+	ErrClosing   = errors.New("closing")
+	ErrUnmapped  = errors.New("unmapped") // want "typed error ErrUnmapped has no HTTP status mapping in this package"
+	ErrForked    = errors.New("forked")
+)
+
+func failJSON(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+}
+
+func handle(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		failJSON(w, http.StatusTooManyRequests, "busy")
+	case errors.Is(err, ErrClosing):
+		failJSON(w, http.StatusServiceUnavailable, "closing")
+	default:
+		failJSON(w, http.StatusGatewayTimeout, "timeout")
+	}
+}
+
+// handleAgain maps ErrQueueFull to the same status (consistent, no
+// finding) and gives ErrForked its first mapping.
+func handleAgain(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		failJSON(w, http.StatusTooManyRequests, "busy")
+	}
+	if errors.Is(err, ErrForked) {
+		failJSON(w, http.StatusBadRequest, "bad")
+	}
+}
+
+// handleForked forks ErrForked's contract with a second status.
+func handleForked(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrForked) {
+		w.WriteHeader(http.StatusConflict) // want "typed error ErrForked maps to multiple HTTP statuses"
+	}
+}
